@@ -1,0 +1,65 @@
+// Command mkltp runs the 3,328-case syscall conformance catalogue (the
+// paper's LTP experiment, section III-D) against the three kernel models.
+//
+// Usage:
+//
+//	mkltp            # summary table
+//	mkltp -failed    # also list failing case IDs per kernel
+//	mkltp -case brk-shrink-fault -kernel mos
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mklite"
+)
+
+func main() {
+	var (
+		showFailed = flag.Bool("failed", false, "list failing case ids")
+		caseID     = flag.String("case", "", "evaluate a single case id")
+		kernelStr  = flag.String("kernel", "mckernel", "kernel for -case")
+	)
+	flag.Parse()
+
+	if *caseID != "" {
+		k, err := mklite.ParseKernel(*kernelStr)
+		check(err)
+		pass, reason, err := mklite.EvaluateLTPCase(*caseID, k)
+		check(err)
+		if pass {
+			fmt.Printf("%s on %s: PASS\n", *caseID, k)
+		} else {
+			fmt.Printf("%s on %s: FAIL (%s)\n", *caseID, k, reason)
+		}
+		return
+	}
+
+	reports, rendered, err := mklite.Conformance()
+	check(err)
+	fmt.Println("Syscall conformance, 3,328 cases (paper: Linux passes all, McKernel fails 32, mOS fails 111)")
+	fmt.Print(rendered)
+	if *showFailed {
+		for _, rep := range reports {
+			if rep.Failed == 0 {
+				continue
+			}
+			fmt.Printf("\n%s failure causes:\n", rep.Kernel)
+			for cause, n := range rep.ByCause {
+				fmt.Printf("  %-28s %d\n", cause, n)
+			}
+		}
+		fmt.Println(strings.TrimSpace(`
+Use -case <id> -kernel <k> to probe individual cases.`))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkltp:", err)
+		os.Exit(1)
+	}
+}

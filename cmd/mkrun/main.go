@@ -1,0 +1,157 @@
+// Command mkrun executes one application benchmark on one kernel
+// configuration and prints the figure of merit with a mechanism breakdown.
+//
+// Usage:
+//
+//	mkrun -app minife -kernel mckernel -nodes 1024
+//	mkrun -app lulesh2.0 -compare -nodes 64
+//	mkrun -app ccs-qcd -kernel mckernel -nodes 2048 -ddr-only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mklite"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "minife", "application to run (see -list)")
+		kernelStr = flag.String("kernel", "mckernel", "kernel: linux, mckernel or mos")
+		nodes     = flag.Int("nodes", 64, "node count")
+		seed      = flag.Uint64("seed", 1, "run seed (vary for repetitions)")
+		compare   = flag.Bool("compare", false, "run all three kernels and compare")
+		ddrOnly   = flag.Bool("ddr-only", false, "pin all memory to DDR4")
+		premap    = flag.Bool("mpol-shm-premap", false, "McKernel: premap MPI shared-memory windows")
+		noYield   = flag.Bool("disable-sched-yield", false, "McKernel: hijack sched_yield into a no-op")
+		usFabric  = flag.Bool("userspace-fabric", false, "use a fabric with no syscalls on the message path")
+		quadrant  = flag.Bool("quadrant", false, "run nodes in quadrant mode instead of SNC-4")
+		jsonOut   = flag.Bool("json", false, "emit results as JSON")
+		sweep     = flag.Bool("sweep", false, "sweep the app's full node-count list")
+		trace     = flag.Bool("trace", false, "print a per-timestep breakdown (first 12 steps)")
+		list      = flag.Bool("list", false, "list applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range mklite.Apps() {
+			fmt.Printf("%-10s %3d ranks/node x %2d threads  %-14s %s\n",
+				a.Name, a.RanksPerNode, a.ThreadsPerRank, "["+a.Unit+"]", a.Desc)
+		}
+		return
+	}
+
+	opts := &mklite.Options{
+		ForceDDROnly:      *ddrOnly,
+		MpolShmPremap:     *premap,
+		DisableSchedYield: *noYield,
+		UserSpaceFabric:   *usFabric,
+		Quadrant:          *quadrant,
+		Trace:             *trace,
+	}
+
+	if *sweep {
+		counts, err := mklite.AppNodeCounts(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		var all []mklite.Result
+		for _, n := range counts {
+			results, err := mklite.Compare(*appName, n, *seed, opts)
+			if err != nil {
+				fatal(err)
+			}
+			all = append(all, results...)
+			if !*jsonOut {
+				linux := results[0].FOM
+				fmt.Printf("%6d nodes:", n)
+				for _, r := range results {
+					fmt.Printf("  %s %.4g (%.2fx)", r.Kernel, r.FOM, r.FOM/linux)
+				}
+				fmt.Println()
+			}
+		}
+		if *jsonOut {
+			emitJSON(all)
+		}
+		return
+	}
+
+	if *compare {
+		results, err := mklite.Compare(*appName, *nodes, *seed, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(results)
+			return
+		}
+		linux := results[0].FOM
+		for _, r := range results {
+			fmt.Printf("%-9s %12.4g %-14s (%.2fx Linux)  elapsed %.4gs\n",
+				r.Kernel, r.FOM, r.Unit, r.FOM/linux, r.ElapsedSeconds)
+		}
+		return
+	}
+
+	k, err := mklite.ParseKernel(*kernelStr)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := mklite.Run(*appName, k, *nodes, *seed, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		emitJSON(r)
+		return
+	}
+	fmt.Printf("%s on %s, %d nodes (%d ranks)\n", r.App, r.Kernel, r.Nodes, r.Ranks)
+	fmt.Printf("  FOM:     %.6g %s\n", r.FOM, r.Unit)
+	fmt.Printf("  elapsed: %.6g s (timed phase)\n", r.ElapsedSeconds)
+	fmt.Println("  breakdown:")
+	keys := make([]string, 0, len(r.Breakdown))
+	for k := range r.Breakdown {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("    %-10s %10.6f s (%5.1f%%)\n", k, r.Breakdown[k],
+			r.Breakdown[k]/r.ElapsedSeconds*100)
+	}
+	if r.HeapGrows > 0 {
+		fmt.Printf("  heap: %d queries, %d grows, %d shrinks; peak %d B, cumulative %d B, %d faults\n",
+			r.HeapQueries, r.HeapGrows, r.HeapShrinks, r.HeapPeakBytes, r.HeapGrownBytes, r.HeapFaults)
+	}
+	fmt.Printf("  MCDRAM residency: %d bytes; demand-paged ranks: %d\n", r.MCDRAMBytes, r.DemandRanks)
+	if *trace && len(r.StepTrace) > 0 {
+		fmt.Println("  per-step trace (ms):")
+		fmt.Printf("    %4s %9s %9s %9s %9s %9s %9s\n",
+			"step", "compute", "memory", "heap", "syscall", "comm", "noise")
+		for i, s := range r.StepTrace {
+			if i >= 12 {
+				fmt.Printf("    ... %d more steps\n", len(r.StepTrace)-i)
+				break
+			}
+			fmt.Printf("    %4d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", i,
+				s.Compute*1e3, s.Memory*1e3, s.Heap*1e3, s.Syscall*1e3, s.Comm*1e3, s.Noise*1e3)
+		}
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Noise example: measure per-kernel interference with FWQ, then watch the
+// bulk-synchronous amplification law turn microseconds of jitter into a
+// scaling cliff (the mechanism behind the paper's Figures 5b and 6a).
+//
+//	go run ./examples/noisescan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mklite"
+)
+
+func main() {
+	fmt.Println("Step 1 — FWQ microbenchmark (1 ms quanta): per-core interference")
+	fmt.Println()
+	fmt.Printf("%-10s %16s %18s\n", "kernel", "noise (mean %)", "max stretch (%)")
+	for _, s := range mklite.MeasureNoise(1, 10000) {
+		fmt.Printf("%-10s %16.5f %18.3f\n", s.Kernel, s.NoisePercent, s.MaxStretchPercent)
+	}
+
+	fmt.Println()
+	fmt.Println("Step 2 — amplification: MILC ends every short CG iteration with a")
+	fmt.Println("global allreduce, which waits for the slowest of all ranks. Watch the")
+	fmt.Println("Linux noise share of each step grow with the job:")
+	fmt.Println()
+	fmt.Printf("%8s %12s %14s %14s\n", "nodes", "ranks", "Linux noise", "LWK/Linux")
+	for _, nodes := range []int{1, 16, 128, 1024, 2048} {
+		lin, err := mklite.Run("milc", mklite.Linux, nodes, 1, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mck, err := mklite.Run("milc", mklite.McKernel, nodes, 1, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		noiseShare := lin.Breakdown["noise"] / lin.ElapsedSeconds * 100
+		fmt.Printf("%8d %12d %13.1f%% %13.2fx\n", nodes, lin.Ranks, noiseShare, mck.FOM/lin.FOM)
+	}
+	fmt.Println()
+	fmt.Println("The per-core noise never changes — only the rank count does. A detour")
+	fmt.Println("that steals 0.04% of one core becomes the gating term of every")
+	fmt.Println("iteration once 131,072 ranks synchronise through it.")
+}

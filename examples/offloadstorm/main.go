@@ -1,0 +1,52 @@
+// Offload-storm example: the discrete-event node model makes the cost of
+// system-call offloading visible at the event level. All ranks fire device
+// syscalls in lockstep (a neighbour-exchange phase); on the multi-kernels
+// those calls cross into Linux and queue on the four OS cores — the
+// contention component behind the LAMMPS result (Figure 6b).
+//
+//	go run ./examples/offloadstorm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mklite"
+)
+
+func main() {
+	cfg := mklite.NodeSimConfig{
+		Ranks:              64,
+		Steps:              20,
+		ComputePerStepSecs: 2e-3, // 2 ms compute
+		SyscallsPerStep:    8,    // device syscalls per exchange
+		SyscallServiceSecs: 3e-6, // 3 us Linux-side service
+		Barrier:            true, // exchanges synchronise the node
+		Seed:               1,
+	}
+
+	fmt.Println("Discrete-event node simulation: 64 ranks, 8 device syscalls/step,")
+	fmt.Println("per-step barrier (all ranks fire their syscalls together)")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %12s %14s %16s\n",
+		"kernel", "elapsed", "analytic", "worst syscall", "offloads served")
+	for _, k := range []mklite.Kernel{mklite.Linux, mklite.MOS, mklite.McKernel} {
+		res, err := mklite.SimulateNode(k, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.3fms %10.3fms %12.1fus %16d\n",
+			res.Kernel,
+			res.ElapsedSeconds*1e3,
+			res.AnalyticSeconds*1e3,
+			res.MaxOffloadLatencySec*1e6,
+			res.OffloadsServiced)
+	}
+	fmt.Println()
+	fmt.Println("Linux services every call natively in well under a microsecond. The")
+	fmt.Println("multi-kernels pay the crossing (thread migration is cheaper than the")
+	fmt.Println("proxy round trip) and, because all 64 ranks burst at once into 4")
+	fmt.Println("Linux-side cores, the worst call waits in the IKC queue far beyond the")
+	fmt.Println("uncontended round trip — the gap between 'analytic' and 'elapsed'.")
+	fmt.Println("On a user-space-driven fabric none of this happens (see Fig. 6b).")
+}

@@ -1,0 +1,44 @@
+// Quickstart: run one application on all three kernel models and compare.
+//
+//	go run ./examples/quickstart
+//
+// This is the minimal end-to-end use of the public API: pick an
+// application, pick node counts, run, compare figures of merit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mklite"
+)
+
+func main() {
+	fmt.Println("mklite quickstart: miniFE (strong scaled CG solve) across kernels")
+	fmt.Println()
+
+	// The applications the framework models, as in the paper's III-B.
+	fmt.Println("Available applications:")
+	for _, a := range mklite.Apps() {
+		fmt.Printf("  %-10s %s\n", a.Name, a.Desc)
+	}
+	fmt.Println()
+
+	for _, nodes := range []int{16, 256, 1024} {
+		results, err := mklite.Compare("minife", nodes, 1, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		linux := results[0].FOM
+		fmt.Printf("%d nodes (%d ranks):\n", nodes, results[0].Ranks)
+		for _, r := range results {
+			fmt.Printf("  %-9s %12.4g %s  (%.2fx Linux)\n",
+				r.Kernel, r.FOM, r.Unit, r.FOM/linux)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The lightweight kernels pull ahead as the job grows: the strong-scaled")
+	fmt.Println("CG iterations shrink while the per-iteration allreduce keeps absorbing")
+	fmt.Println("the worst OS-noise detour over all ranks — on Linux that maximum climbs")
+	fmt.Println("into the heavy tail, on the tickless LWKs there is no tail to hit.")
+}

@@ -1,0 +1,3 @@
+module mklite
+
+go 1.24

@@ -1,0 +1,273 @@
+package apps
+
+import (
+	"testing"
+
+	"mklite/internal/hw"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestEightApplications(t *testing.T) {
+	if len(All()) != 8 {
+		t.Fatalf("%d applications, the paper evaluates 8", len(All()))
+	}
+}
+
+func TestGet(t *testing.T) {
+	s, err := Get("lulesh2.0")
+	if err != nil || s.Name != "lulesh2.0" {
+		t.Fatal(err)
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Fatal("phantom app")
+	}
+}
+
+func TestNamesSortedUnique(t *testing.T) {
+	names := Names()
+	seen := map[string]bool{}
+	for i, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate app %s", n)
+		}
+		seen[n] = true
+		if i > 0 && names[i-1] >= n {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestOnlyMiniFEStrongScaled(t *testing.T) {
+	// "All applications, except MiniFE ran weakly scaled."
+	for _, s := range All() {
+		if s.Name == "minife" {
+			if s.Weak {
+				t.Fatal("minife must be strong scaled")
+			}
+			continue
+		}
+		if !s.Weak {
+			t.Fatalf("%s must be weak scaled", s.Name)
+		}
+	}
+}
+
+func TestOnlyCCSQCDExceedsMCDRAM(t *testing.T) {
+	// "All but CCS-QCD were sized to fit entirely into MCDRAM."
+	const mcdram = 16 * hw.GiB
+	for _, s := range All() {
+		for _, n := range s.NodeCounts {
+			perNode := s.WorkingSetPerRank(n) * int64(s.RanksPerNode)
+			if s.Name == "ccs-qcd" {
+				if perNode <= mcdram {
+					t.Fatalf("ccs-qcd fits MCDRAM at %d nodes (%d bytes)", n, perNode)
+				}
+			} else if perNode > mcdram {
+				t.Fatalf("%s exceeds MCDRAM at %d nodes (%d bytes)", s.Name, n, perNode)
+			}
+		}
+	}
+}
+
+func TestLuleshCubicNodeCounts(t *testing.T) {
+	s := Lulesh()
+	want := []int{1, 8, 27, 64, 125, 216, 343, 512, 729, 1000, 1331, 1728}
+	if len(s.NodeCounts) != len(want) {
+		t.Fatalf("node counts %v", s.NodeCounts)
+	}
+	for i := range want {
+		if s.NodeCounts[i] != want[i] {
+			t.Fatalf("node counts %v, want cubes %v", s.NodeCounts, want)
+		}
+	}
+}
+
+func TestLuleshHeapTraceRatios(t *testing.T) {
+	// Per-step ops must follow the paper's ~5:2:1 query:grow:shrink mix
+	// and the cumulative growth must dwarf the per-step retained size.
+	ops := Lulesh().HeapOpsPerStep(64)
+	var q, g, s int
+	var grown, shrunk int64
+	for _, d := range ops {
+		switch {
+		case d == 0:
+			q++
+		case d > 0:
+			g++
+			grown += d
+		default:
+			s++
+			shrunk -= d
+		}
+	}
+	if q != 15 || g != 6 || s != 3 {
+		t.Fatalf("trace mix %d:%d:%d, want 15:6:3", q, g, s)
+	}
+	if grown != shrunk {
+		t.Fatalf("per-step trace must balance: +%d -%d", grown, shrunk)
+	}
+}
+
+func TestMiniFEStrongScalingShrinksWork(t *testing.T) {
+	s := MiniFE()
+	if s.WorkingSetPerRank(1024) >= s.WorkingSetPerRank(16) {
+		t.Fatal("strong scaling must shrink per-rank memory")
+	}
+	if s.FlopsPerStep(1024) >= s.FlopsPerStep(16) {
+		t.Fatal("strong scaling must shrink per-rank flops")
+	}
+}
+
+func TestWeakAppsConstantPerRankWork(t *testing.T) {
+	for _, s := range All() {
+		if !s.Weak {
+			continue
+		}
+		lo, hi := s.NodeCounts[0], s.NodeCounts[len(s.NodeCounts)-1]
+		if s.WorkingSetPerRank(lo) != s.WorkingSetPerRank(hi) {
+			t.Fatalf("%s: weak scaling changed per-rank working set", s.Name)
+		}
+	}
+}
+
+func TestLAMMPSIsDeviceSyscallBound(t *testing.T) {
+	s := LAMMPS()
+	if s.DeviceSyscallFactor <= 1 {
+		t.Fatal("LAMMPS must exercise the OPA device-syscall path intensely")
+	}
+	if s.Colls(64)[0].Every <= 1 {
+		t.Fatal("LAMMPS global collectives should be infrequent")
+	}
+	for _, other := range []*Spec{MiniFE(), Lulesh(), HPCG()} {
+		if other.DeviceSyscallFactor > 0 {
+			t.Fatalf("%s should not override device syscalls", other.Name)
+		}
+	}
+}
+
+func TestCCSQCDHotModel(t *testing.T) {
+	s := CCSQCD()
+	if s.HotFraction <= 0 || s.HotFraction >= 1 {
+		t.Fatal("hot fraction")
+	}
+	if s.HotTraffic <= s.HotFraction {
+		t.Fatal("hot bytes must be disproportionately hot")
+	}
+	if s.RanksPerNode != 4 || s.ThreadsPerRank != 32 {
+		t.Fatal("paper runs CCS-QCD 4 ranks x 32 threads")
+	}
+}
+
+func TestAMGHasHeavySpinWaiting(t *testing.T) {
+	if AMG2013().SchedYieldsPerStep < 5000 {
+		t.Fatal("AMG models heavy sched_yield spinning (the --disable-sched-yield target)")
+	}
+}
+
+func TestThreadsTimesRanksWithinNode(t *testing.T) {
+	// rpn x tpr must not exceed 272 logical CPUs (and should use at
+	// least the 64 application cores).
+	for _, s := range All() {
+		lcpus := s.RanksPerNode * s.ThreadsPerRank
+		if lcpus > 272 {
+			t.Fatalf("%s oversubscribes: %d logical CPUs", s.Name, lcpus)
+		}
+		if lcpus < 64 {
+			t.Fatalf("%s underuses the node: %d logical CPUs", s.Name, lcpus)
+		}
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	s := Lulesh()
+	s.Name = ""
+	if s.Validate() == nil {
+		t.Fatal("empty name accepted")
+	}
+	s = Lulesh()
+	s.NodeCounts = []int{8, 1}
+	if s.Validate() == nil {
+		t.Fatal("unsorted node counts accepted")
+	}
+	s = Lulesh()
+	s.EffGFlops = 0
+	if s.Validate() == nil {
+		t.Fatal("zero GF accepted")
+	}
+	s = Lulesh()
+	s.WorkingSetPerRank = nil
+	if s.Validate() == nil {
+		t.Fatal("missing workload fn accepted")
+	}
+}
+
+func TestHeapLimitOrDefault(t *testing.T) {
+	s := &Spec{}
+	if s.HeapLimitOrDefault() != 1*hw.GiB {
+		t.Fatal("default heap limit")
+	}
+	s.HeapLimit = 5
+	if s.HeapLimitOrDefault() != 5 {
+		t.Fatal("explicit heap limit")
+	}
+}
+
+func TestCollKindStrings(t *testing.T) {
+	if CollAllreduce.String() != "allreduce" || CollAlltoall.String() != "alltoall" {
+		t.Fatal("coll kind strings")
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := powersOfTwo(2048)
+	if len(got) != 12 || got[0] != 1 || got[11] != 2048 {
+		t.Fatalf("powersOfTwo(2048) = %v", got)
+	}
+}
+
+func TestLuleshBrkTraceS30ExactCounts(t *testing.T) {
+	trace := LuleshBrkTraceS30()
+	var q, g, s int
+	var running, peak, grown int64
+	for _, d := range trace {
+		switch {
+		case d == 0:
+			q++
+		case d > 0:
+			g++
+			grown += d
+			running += d
+		default:
+			s++
+			running += d
+			if running < 0 {
+				running = 0
+			}
+		}
+		if running > peak {
+			peak = running
+		}
+	}
+	// The paper's exact counts: 7,526 / 3,028 / 1,499 = ~12k calls.
+	if q != 7526 || g != 3028 || s != 1499 {
+		t.Fatalf("trace mix %d:%d:%d, want 7526:3028:1499", q, g, s)
+	}
+	if got := len(trace); got != 12053 {
+		t.Fatalf("total calls %d, want 12053", got)
+	}
+	// "At its largest, the heap grew to 87 MB" (within a chunk).
+	if peak < 80*hw.MiB || peak > 95*hw.MiB {
+		t.Fatalf("peak %d bytes, want ~87 MB", peak)
+	}
+	// "the cumulative amount of memory requested was 22 GB".
+	if grown < 20*hw.GiB || grown > 24*hw.GiB {
+		t.Fatalf("cumulative growth %d, want ~22 GB", grown)
+	}
+}

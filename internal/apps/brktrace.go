@@ -1,0 +1,67 @@
+package apps
+
+import "mklite/internal/hw"
+
+// LuleshBrkTraceS30 generates the full brk trace of the paper's section IV
+// study (LULESH 2.0 with -s 30): exactly 7,526 queries (sbrk(0)), 3,028
+// growth requests and 1,499 contraction requests — "a total of about
+// 12,000 calls to brk in the few seconds the program runs" — with the heap
+// peaking at ~87 MB while the cumulative growth reaches ~22 GB.
+//
+// The trace is deterministic and is replayed call-for-call through the
+// kernels' process syscall layer by experiments.BrkTraceS30.
+func LuleshBrkTraceS30() []int64 {
+	const (
+		queries = 7526
+		grows   = 3028
+		shrinks = 1499
+		// Average expansion ~7.3 MB puts the cumulative growth at
+		// ~22 GB over 3,028 requests.
+		growBytes = int64(7398) * 1024 // ~7.2 MiB
+		// glibc trims the heap back to a floor once it outgrows the
+		// high-water mark — variable-size contractions.
+		trimAbove = 80 * hw.MiB
+		trimFloor = 64 * hw.MiB
+	)
+	trace := make([]int64, 0, queries+grows+shrinks)
+	var running int64
+	q, g, s := 0, 0, 0
+	// Interleave in the application's rhythm: a couple of allocator
+	// queries, an expansion, and a trim back to the floor whenever the
+	// heap outgrows its ~87 MB peak.
+	for g < grows {
+		for i := 0; i < 2 && q < queries; i++ {
+			trace = append(trace, 0)
+			q++
+		}
+		if running > trimAbove && s < shrinks {
+			trim := running - trimFloor
+			trace = append(trace, -trim)
+			running -= trim
+			s++
+		}
+		trace = append(trace, growBytes)
+		running += growBytes
+		g++
+	}
+	// Remaining contractions and queries close out the run (trim
+	// attempts keep happening even once the heap is back at its floor —
+	// tiny requests that release little or nothing).
+	for s < shrinks {
+		shrink := running / 2
+		if shrink < int64(hw.Page4K) {
+			shrink = int64(hw.Page4K)
+		}
+		trace = append(trace, -shrink)
+		running -= shrink
+		if running < 0 {
+			running = 0
+		}
+		s++
+	}
+	for q < queries {
+		trace = append(trace, 0)
+		q++
+	}
+	return trace
+}

@@ -1,0 +1,58 @@
+package apps
+
+import "mklite/internal/hw"
+
+// LAMMPS models the lj.weak.4x2x2x7900 molecular-dynamics run, 64
+// ranks/node x 2 threads. Its communication is dominated by frequent
+// nearest-neighbour exchanges whose driver path on the current Omni-Path
+// generation "involves system calls" — on the multi-kernels those syscalls
+// offload to Linux, adding microseconds each. Because halo exchanges only
+// synchronise small neighbourhoods, Linux suffers no noise amplification to
+// offset that, so "neither mOS nor McKernel performed better than Linux at
+// scale" (Figure 6b) while the LWKs still win on a handful of nodes.
+func LAMMPS() *Spec {
+	const (
+		ranksPerNode = 64
+		atomsPerRank = 32000 // lj weak-scaled block
+		bytesPerAtom = 900   // neighbor lists dominate
+		flopsPerAtom = 1100  // LJ force evaluation per step
+	)
+	return &Spec{
+		Name:           "lammps",
+		Unit:           "timesteps/s",
+		Desc:           "LAMMPS lj weak scaling, neighbour-exchange bound",
+		RanksPerNode:   ranksPerNode,
+		ThreadsPerRank: 2,
+		Timesteps:      50,
+		Weak:           true,
+		NodeCounts:     powersOfTwo(2048),
+
+		WorkingSetPerRank: func(nodes int) int64 { return atomsPerRank * bytesPerAtom },
+		FlopsPerStep:      func(nodes int) float64 { return atomsPerRank * flopsPerAtom },
+		EffGFlops:         4.0,
+		MemTrafficPerStep: func(nodes int) int64 { return atomsPerRank * bytesPerAtom / 3 },
+
+		Halo: func(nodes int) *HaloSpec {
+			// Full 26-neighbour stencil, forward+reverse
+			// communication plus reneighbouring traffic.
+			return &HaloSpec{Bytes: 24 << 10, Neighbors: 26, Rounds: 6}
+		},
+		Colls: func(nodes int) []CollSpec {
+			// Thermo output reduction every 10 steps only.
+			return []CollSpec{{Kind: CollAllreduce, Bytes: 48, Every: 25}}
+		},
+
+		HeapLimit:          1 * hw.GiB,
+		SchedYieldsPerStep: 300,
+		ShmWindowBytes:     8 * hw.MiB,
+		// LAMMPS's many small exchanges exercise the driver's kernel
+		// path hard (doorbells, completion reaping, progress).
+		DeviceSyscallFactor: 16.0,
+
+		WorkPerStepPerNode: func(nodes int) float64 {
+			// FOM is timesteps/s: one unit of work per step per
+			// job, expressed per node for aggregation.
+			return 1.0 / float64(nodes)
+		},
+	}
+}

@@ -1,0 +1,72 @@
+package apps
+
+import "mklite/internal/hw"
+
+// luleshNodeCounts are the cubic job sizes of Figure 6a.
+var luleshNodeCounts = []int{1, 8, 27, 64, 125, 216, 343, 512, 729, 1000, 1331, 1728}
+
+// Lulesh models LULESH 2.0 with -s 50, 64 ranks/node x 2 threads (the
+// paper's configuration). Its signature is the brk churn of section IV:
+// thousands of heap queries, expansions and contractions per run — 87 MB
+// peak but tens of gigabytes of cumulative growth — which the Linux heap
+// turns into page-fault and page-clearing work every timestep while the
+// LWK HPC heaps service it from retained, pre-zeroed 2 MiB chunks.
+func Lulesh() *Spec {
+	const (
+		// 50^3 elements per rank.
+		zonesPerRank = 50 * 50 * 50
+		ranksPerNode = 64
+	)
+	return &Spec{
+		Name:           "lulesh2.0",
+		Unit:           "zones/s",
+		Desc:           "LULESH 2.0 s50, shock hydrodynamics, brk-heavy",
+		RanksPerNode:   ranksPerNode,
+		ThreadsPerRank: 2,
+		Timesteps:      40,
+		Weak:           true,
+		NodeCounts:     luleshNodeCounts,
+
+		// ~1.5 KiB of state per zone: fits MCDRAM node-wide.
+		WorkingSetPerRank: func(nodes int) int64 { return zonesPerRank * 1536 },
+		// Hydro step: ~300 FLOP per zone per step in the modelled loop.
+		FlopsPerStep: func(nodes int) float64 { return zonesPerRank * 300 },
+		EffGFlops:    1.1,
+		// One sweep over the zone state per step.
+		MemTrafficPerStep: func(nodes int) int64 { return zonesPerRank * 1536 / 4 },
+
+		Halo: func(nodes int) *HaloSpec {
+			return &HaloSpec{Bytes: 48 << 10, Neighbors: 6, Rounds: 3}
+		},
+		Colls: func(nodes int) []CollSpec {
+			// The dt reduction synchronises all ranks every step.
+			return []CollSpec{{Kind: CollAllreduce, Bytes: 8, Every: 1}}
+		},
+
+		// Per-step heap trace, scaled from the paper's -s 30 numbers
+		// (7,526 queries / 3,028 grows / 1,499 shrinks, 22 GB
+		// cumulative growth, 87 MB peak): ratios 5:2:1, per-step churn
+		// far above the retained size.
+		HeapOpsPerStep: func(nodes int) []int64 {
+			ops := make([]int64, 0, 24)
+			for i := 0; i < 15; i++ {
+				ops = append(ops, 0) // queries
+			}
+			for i := 0; i < 6; i++ {
+				ops = append(ops, 8*hw.MiB) // temporary arrays
+			}
+			for i := 0; i < 3; i++ {
+				ops = append(ops, -16*hw.MiB) // released again
+			}
+			return ops
+		},
+		HeapLimit: 2 * hw.GiB,
+
+		SchedYieldsPerStep: 500,
+		ShmWindowBytes:     16 * hw.MiB,
+
+		WorkPerStepPerNode: func(nodes int) float64 {
+			return float64(zonesPerRank * ranksPerNode)
+		},
+	}
+}

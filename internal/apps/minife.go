@@ -1,0 +1,67 @@
+package apps
+
+import "mklite/internal/hw"
+
+// MiniFE models the miniFE 660x660x660 configuration: the only
+// strong-scaled application in the evaluation ("All applications, except
+// MiniFE ran weakly scaled"), 64 ranks/node x 4 threads. Its conjugate-
+// gradient solve does two small allreduces per iteration over the full job;
+// at a thousand nodes the per-iteration compute window shrinks to fractions
+// of a millisecond, and the allreduces start absorbing the worst noise
+// detour of 65k+ Linux ranks every iteration — the Figure 5b cliff where
+// the LWKs end up "almost seven times faster" at 1,024 nodes.
+func MiniFE() *Spec {
+	const (
+		totalRows    = 660 * 660 * 660 // fixed global problem
+		ranksPerNode = 64
+		// ~0.7 KiB per row: 27-point stencil matrix + vectors.
+		bytesPerRow = 700
+		// ~54 FLOP per row per CG iteration (SpMV + dots + axpys).
+		flopsPerRow = 54
+	)
+	rowsPerRank := func(nodes int) int64 {
+		return int64(totalRows / (ranksPerNode * nodes))
+	}
+	return &Spec{
+		Name:           "minife",
+		Unit:           "Mflops",
+		Desc:           "miniFE 660^3 CG solve, strong scaled, allreduce-bound at scale",
+		RanksPerNode:   ranksPerNode,
+		ThreadsPerRank: 4,
+		Timesteps:      60, // CG iterations
+		Weak:           false,
+		NodeCounts:     []int{16, 32, 64, 128, 256, 512, 1024, 2048},
+
+		WorkingSetPerRank: func(nodes int) int64 { return rowsPerRank(nodes) * bytesPerRow },
+		FlopsPerStep:      func(nodes int) float64 { return float64(rowsPerRank(nodes) * flopsPerRow) },
+		EffGFlops:         0.9,
+		// CG streams the matrix once per iteration.
+		MemTrafficPerStep: func(nodes int) int64 { return rowsPerRank(nodes) * bytesPerRow },
+
+		Halo: func(nodes int) *HaloSpec {
+			// SpMV boundary exchange shrinks with the subdomain
+			// surface.
+			bytes := int64(256 << 10)
+			if nodes > 64 {
+				bytes = 64 << 10
+			}
+			return &HaloSpec{Bytes: bytes, Neighbors: 6, Rounds: 1}
+		},
+		Colls: func(nodes int) []CollSpec {
+			// Two dot products per CG iteration.
+			return []CollSpec{
+				{Kind: CollAllreduce, Bytes: 8, Every: 1},
+				{Kind: CollAllreduce, Bytes: 8, Every: 1},
+			}
+		},
+
+		HeapLimit:          1 * hw.GiB,
+		SchedYieldsPerStep: 1500,
+		ShmWindowBytes:     8 * hw.MiB,
+
+		// Mflop completed per node per iteration.
+		WorkPerStepPerNode: func(nodes int) float64 {
+			return float64(rowsPerRank(nodes)*flopsPerRow) * ranksPerNode / 1e6
+		},
+	}
+}

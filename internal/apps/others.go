@@ -1,0 +1,150 @@
+package apps
+
+import "mklite/internal/hw"
+
+// AMG2013 models the BoomerAMG algebraic-multigrid solver (weak scaled, 32
+// ranks/node x 4 threads). Multigrid cycles are latency-sensitive — small
+// collectives on the coarse levels every cycle — and the MPI runtime
+// busy-waits through sched_yield, which is why McKernel's
+// --disable-sched-yield option buys ~9% on 16 nodes (section IV). The
+// intra-node shared-memory windows benefit from --mpol-shm-premap.
+func AMG2013() *Spec {
+	const ranksPerNode = 32
+	return &Spec{
+		Name:           "amg2013",
+		Unit:           "FOM/s",
+		Desc:           "AMG 2013 BoomerAMG solve cycles, latency-sensitive multigrid",
+		RanksPerNode:   ranksPerNode,
+		ThreadsPerRank: 4,
+		Timesteps:      40, // V-cycles
+		Weak:           true,
+		NodeCounts:     powersOfTwo(2048),
+
+		WorkingSetPerRank: func(nodes int) int64 { return 360 * hw.MiB },
+		FlopsPerStep:      func(nodes int) float64 { return 24e6 },
+		EffGFlops:         1.0,
+		MemTrafficPerStep: func(nodes int) int64 { return 96 * hw.MiB },
+
+		Halo: func(nodes int) *HaloSpec {
+			return &HaloSpec{Bytes: 32 << 10, Neighbors: 6, Rounds: 2}
+		},
+		Colls: func(nodes int) []CollSpec {
+			// Coarse-level reductions: one small allreduce every
+			// other cycle on average.
+			return []CollSpec{{Kind: CollAllreduce, Bytes: 16, Every: 2}}
+		},
+
+		HeapLimit: 1 * hw.GiB,
+		// Heavy MPI spin-waiting on the coarse levels.
+		SchedYieldsPerStep: 12000,
+		ShmWindowBytes:     64 * hw.MiB,
+
+		WorkPerStepPerNode: func(nodes int) float64 { return 24e6 * ranksPerNode },
+	}
+}
+
+// GeoFEM models the GeoFEM parallel iterative solver with selective
+// blocking preconditioning (weak scaled, 32 ranks/node): an ICCG sweep per
+// iteration, bandwidth-bound with a per-iteration dot product.
+func GeoFEM() *Spec {
+	const ranksPerNode = 32
+	return &Spec{
+		Name:           "geofem",
+		Unit:           "Gflops",
+		Desc:           "GeoFEM ICCG solver with selective blocking",
+		RanksPerNode:   ranksPerNode,
+		ThreadsPerRank: 8,
+		Timesteps:      40,
+		Weak:           true,
+		NodeCounts:     powersOfTwo(2048),
+
+		WorkingSetPerRank: func(nodes int) int64 { return 420 * hw.MiB },
+		FlopsPerStep:      func(nodes int) float64 { return 36e6 },
+		EffGFlops:         1.0,
+		MemTrafficPerStep: func(nodes int) int64 { return 130 * hw.MiB },
+
+		Halo: func(nodes int) *HaloSpec {
+			return &HaloSpec{Bytes: 96 << 10, Neighbors: 6, Rounds: 1}
+		},
+		Colls: func(nodes int) []CollSpec {
+			return []CollSpec{{Kind: CollAllreduce, Bytes: 8, Every: 1}}
+		},
+
+		HeapLimit:          1 * hw.GiB,
+		SchedYieldsPerStep: 1000,
+		ShmWindowBytes:     16 * hw.MiB,
+
+		WorkPerStepPerNode: func(nodes int) float64 { return 36e6 * ranksPerNode / 1e9 },
+	}
+}
+
+// HPCG models the High Performance Conjugate Gradient benchmark (weak
+// scaled, 16 ranks/node x 16 threads): symmetric Gauss-Seidel + SpMV
+// sweeps, a dot-product allreduce per iteration, bandwidth-bound.
+func HPCG() *Spec {
+	const ranksPerNode = 16
+	return &Spec{
+		Name:           "hpcg",
+		Unit:           "Gflops",
+		Desc:           "HPCG multigrid-preconditioned CG, bandwidth bound",
+		RanksPerNode:   ranksPerNode,
+		ThreadsPerRank: 16,
+		Timesteps:      40,
+		Weak:           true,
+		NodeCounts:     powersOfTwo(2048),
+
+		WorkingSetPerRank: func(nodes int) int64 { return 800 * hw.MiB },
+		FlopsPerStep:      func(nodes int) float64 { return 90e6 },
+		EffGFlops:         1.2,
+		MemTrafficPerStep: func(nodes int) int64 { return 400 * hw.MiB },
+
+		Halo: func(nodes int) *HaloSpec {
+			return &HaloSpec{Bytes: 128 << 10, Neighbors: 26, Rounds: 1}
+		},
+		Colls: func(nodes int) []CollSpec {
+			return []CollSpec{{Kind: CollAllreduce, Bytes: 8, Every: 1}}
+		},
+
+		HeapLimit:          1 * hw.GiB,
+		SchedYieldsPerStep: 1200,
+		ShmWindowBytes:     16 * hw.MiB,
+
+		WorkPerStepPerNode: func(nodes int) float64 { return 90e6 * ranksPerNode / 1e9 },
+	}
+}
+
+// MILC models the MILC lattice-QCD conjugate-gradient phase (weak scaled,
+// 64 ranks/node x 2 threads): very short CG iterations, each ending in a
+// global reduction — the configuration most exposed to noise amplification
+// after MiniFE. Figure 4 marks its 2,048-node McKernel median at 1.99x.
+func MILC() *Spec {
+	const ranksPerNode = 64
+	return &Spec{
+		Name:           "milc",
+		Unit:           "Mflops",
+		Desc:           "MILC su3 CG, short iterations with per-iteration allreduce",
+		RanksPerNode:   ranksPerNode,
+		ThreadsPerRank: 2,
+		Timesteps:      60, // CG iterations
+		Weak:           true,
+		NodeCounts:     powersOfTwo(2048),
+
+		WorkingSetPerRank: func(nodes int) int64 { return 96 * hw.MiB },
+		FlopsPerStep:      func(nodes int) float64 { return 5.0e6 },
+		EffGFlops:         1.4,
+		MemTrafficPerStep: func(nodes int) int64 { return 9 * hw.MiB },
+
+		Halo: func(nodes int) *HaloSpec {
+			return &HaloSpec{Bytes: 24 << 10, Neighbors: 8, Rounds: 1}
+		},
+		Colls: func(nodes int) []CollSpec {
+			return []CollSpec{{Kind: CollAllreduce, Bytes: 16, Every: 1}}
+		},
+
+		HeapLimit:          1 * hw.GiB,
+		SchedYieldsPerStep: 600,
+		ShmWindowBytes:     8 * hw.MiB,
+
+		WorkPerStepPerNode: func(nodes int) float64 { return 5.0e6 * ranksPerNode / 1e6 },
+	}
+}

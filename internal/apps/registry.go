@@ -1,0 +1,41 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// All returns the eight evaluation applications in the paper's Figure 4
+// order.
+func All() []*Spec {
+	return []*Spec{
+		AMG2013(),
+		CCSQCD(),
+		GeoFEM(),
+		HPCG(),
+		LAMMPS(),
+		MILC(),
+		MiniFE(),
+		Lulesh(),
+	}
+}
+
+// Names returns the registered application names, sorted.
+func Names() []string {
+	var out []string
+	for _, s := range All() {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the application with the given name.
+func Get(name string) (*Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q (known: %v)", name, Names())
+}

@@ -1,0 +1,188 @@
+// Package apps holds the workload models for the paper's eight evaluation
+// applications: AMG 2013, CCS-QCD, GeoFEM, HPCG, LAMMPS, Lulesh 2.0, MILC
+// and MiniFE. Each model is a phase-level trace — per-timestep compute,
+// memory traffic, heap activity, halo exchanges and global collectives —
+// parameterised from the paper's own measurements and the benchmarks'
+// published characteristics. The cluster harness executes these traces
+// against the real kernel, memory and MPI models of this repository.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"mklite/internal/hw"
+)
+
+// CollKind identifies a global collective operation.
+type CollKind int
+
+const (
+	CollAllreduce CollKind = iota
+	CollBcast
+	CollAllgather
+	CollAlltoall
+)
+
+// String names the collective.
+func (k CollKind) String() string {
+	switch k {
+	case CollAllreduce:
+		return "allreduce"
+	case CollBcast:
+		return "bcast"
+	case CollAllgather:
+		return "allgather"
+	case CollAlltoall:
+		return "alltoall"
+	default:
+		return fmt.Sprintf("CollKind(%d)", int(k))
+	}
+}
+
+// CollSpec is a recurring global collective in the timestep loop. Global
+// collectives synchronise every rank, so they absorb the worst per-rank
+// noise detour each time they run — the amplification channel.
+type CollSpec struct {
+	Kind  CollKind
+	Bytes int64
+	// Every runs the collective every k-th timestep (1 = every step).
+	Every int
+}
+
+// HaloSpec is the nearest-neighbour exchange of the timestep loop. Halo
+// exchanges synchronise only small neighbourhoods, so noise is barely
+// amplified — the reason LAMMPS does not exhibit the Linux cliff.
+type HaloSpec struct {
+	// Bytes per neighbour per round.
+	Bytes int64
+	// Neighbors per rank (6 for 3D stencils, 26 for full stencils).
+	Neighbors int
+	// Rounds per timestep.
+	Rounds int
+}
+
+// Spec is one application's workload model. All per-rank quantities may
+// depend on the node count (strong-scaled apps shrink per-rank work as the
+// job grows).
+type Spec struct {
+	Name string
+	// Unit of the figure of merit, e.g. "zones/s".
+	Unit string
+	// Desc is a one-line description for the harness output.
+	Desc string
+	// PerNode reports the FOM per node rather than job-total.
+	PerNode bool
+
+	RanksPerNode   int
+	ThreadsPerRank int
+	// Timesteps in the modelled run (compressed relative to the real
+	// benchmarks; FOM rates normalise it out).
+	Timesteps int
+	// Weak scaling grows the problem with the job; strong scaling
+	// divides a fixed problem (only MiniFE in the paper).
+	Weak bool
+	// NodeCounts are the job sizes the paper evaluates this app on.
+	NodeCounts []int
+
+	// WorkingSetPerRank is the bytes mapped (mmap) per rank at startup.
+	WorkingSetPerRank func(nodes int) int64
+	// FlopsPerStep is the per-rank floating-point work per timestep.
+	FlopsPerStep func(nodes int) float64
+	// EffGFlops is the achieved (not peak) compute rate per rank in
+	// GF/s for the CPU-bound portion.
+	EffGFlops float64
+	// MemTrafficPerStep is the per-rank DRAM traffic per timestep in
+	// bytes; it is serviced at the rank's share of the node's effective
+	// memory bandwidth (MCDRAM vs DDR4 mix decided by the kernel).
+	MemTrafficPerStep func(nodes int) int64
+	// HotFraction is the fraction of the working set that receives
+	// HotTraffic of the memory traffic (stencil codes concentrate
+	// accesses on field arrays). Zero means uniform access. The split
+	// matters only when the working set exceeds MCDRAM and placement
+	// policy decides which bytes are fast — the CCS-QCD scenario.
+	HotFraction float64
+	// HotTraffic is the fraction of MemTrafficPerStep hitting the hot
+	// bytes (>= HotFraction when set).
+	HotTraffic float64
+
+	// Halo, if non-nil, runs every timestep.
+	Halo func(nodes int) *HaloSpec
+	// Colls are the global collectives of the timestep loop.
+	Colls func(nodes int) []CollSpec
+
+	// HeapOpsPerStep is the sbrk delta trace replayed each timestep
+	// (0 = query). Lulesh's trace is the paper's section IV subject.
+	HeapOpsPerStep func(nodes int) []int64
+	// HeapLimit is the heap's virtual reservation.
+	HeapLimit int64
+
+	// SchedYieldsPerStep counts glibc sched_yield invocations per rank
+	// per step (spin-wait loops inside MPI).
+	SchedYieldsPerStep int
+	// ShmWindowBytes is the per-rank MPI intra-node shared-memory
+	// window; without premapping it faults on first touch.
+	ShmWindowBytes int64
+	// DeviceSyscallFactor multiplies the fabric's per-message syscall
+	// count (how intensely the app's communication pattern exercises
+	// the driver's kernel path); 0 means 1. On a user-space fabric the
+	// product — and hence the offload penalty — is zero regardless.
+	DeviceSyscallFactor float64
+
+	// WorkPerStepPerNode is the FOM-units of work one node completes
+	// per timestep (zones for Lulesh, Mflop for MiniFE, ...).
+	WorkPerStepPerNode func(nodes int) float64
+}
+
+// Validate checks the spec is complete and internally consistent.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("apps: spec without name")
+	case s.RanksPerNode <= 0:
+		return fmt.Errorf("apps: %s: bad RanksPerNode %d", s.Name, s.RanksPerNode)
+	case s.ThreadsPerRank <= 0:
+		return fmt.Errorf("apps: %s: bad ThreadsPerRank %d", s.Name, s.ThreadsPerRank)
+	case s.Timesteps <= 0:
+		return fmt.Errorf("apps: %s: bad Timesteps %d", s.Name, s.Timesteps)
+	case len(s.NodeCounts) == 0:
+		return fmt.Errorf("apps: %s: no node counts", s.Name)
+	case s.WorkingSetPerRank == nil || s.FlopsPerStep == nil || s.MemTrafficPerStep == nil:
+		return fmt.Errorf("apps: %s: missing workload functions", s.Name)
+	case s.EffGFlops <= 0:
+		return fmt.Errorf("apps: %s: bad EffGFlops %v", s.Name, s.EffGFlops)
+	case s.WorkPerStepPerNode == nil:
+		return fmt.Errorf("apps: %s: missing WorkPerStepPerNode", s.Name)
+	case s.HeapLimit < 0:
+		return fmt.Errorf("apps: %s: negative heap limit", s.Name)
+	}
+	if !sort.IntsAreSorted(s.NodeCounts) {
+		return fmt.Errorf("apps: %s: node counts not sorted", s.Name)
+	}
+	for _, n := range s.NodeCounts {
+		if n <= 0 {
+			return fmt.Errorf("apps: %s: non-positive node count", s.Name)
+		}
+		if ws := s.WorkingSetPerRank(n); ws <= 0 {
+			return fmt.Errorf("apps: %s: non-positive working set at %d nodes", s.Name, n)
+		}
+	}
+	return nil
+}
+
+// HeapLimitOrDefault returns the heap reservation, defaulting to 1 GiB.
+func (s *Spec) HeapLimitOrDefault() int64 {
+	if s.HeapLimit > 0 {
+		return s.HeapLimit
+	}
+	return 1 * hw.GiB
+}
+
+// powersOfTwo returns {1,2,4,...,max}.
+func powersOfTwo(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}

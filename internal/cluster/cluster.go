@@ -1,0 +1,199 @@
+// Package cluster is the experiment harness: it boots a kernel on a model
+// KNL node, lays out an application's ranks (address spaces, heaps, MPI
+// shared-memory windows) through the kernel's real memory-management code
+// paths, and then runs the application's timestep trace across N such nodes
+// — composing compute, memory-bandwidth, heap, system-call, network and
+// noise costs into an elapsed time and the paper's figure of merit.
+//
+// SPMD jobs are homogeneous per node, so the harness materialises one
+// node's full memory image and reuses the derived per-rank parameters for
+// all nodes; per-step noise maxima are still sampled across the entire
+// job's rank count, which is where scale enters.
+package cluster
+
+import (
+	"fmt"
+
+	"mklite/internal/apps"
+	"mklite/internal/fabric"
+	"mklite/internal/hw"
+	"mklite/internal/ihk"
+	"mklite/internal/kernel"
+	"mklite/internal/linuxos"
+	"mklite/internal/mckernel"
+	"mklite/internal/mem"
+	"mklite/internal/mos"
+	"mklite/internal/mpi"
+	"mklite/internal/sim"
+)
+
+// Job describes one run: an application at a node count on a kernel.
+type Job struct {
+	App    *apps.Spec
+	Kernel kernel.Type
+	Nodes  int
+	// Seed drives all stochastic draws; same seed => identical result.
+	Seed uint64
+
+	// Fabric overrides the interconnect (default: Omni-Path).
+	Fabric *fabric.Spec
+	// McK carries McKernel job options (proxy flags, heap branch);
+	// nil selects the defaults.
+	McK *mckernel.Options
+	// MOS carries the mOS boot configuration; nil selects the defaults.
+	MOS *mos.Config
+	// Linux carries the Linux boot configuration; nil selects the
+	// defaults.
+	Linux *linuxos.Config
+	// ForceDDROnly pins all application memory to DDR4 regardless of
+	// kernel (the Table I and CCS-QCD-DDR experiments).
+	ForceDDROnly bool
+	// Quadrant runs the node in quadrant mode instead of SNC-4: one
+	// DDR4 domain with all cores plus one MCDRAM domain. Linux can then
+	// express "prefer MCDRAM, spill to DDR" with numactl -p, at the
+	// cost of the SNC-4 mesh advantage (section III-B).
+	Quadrant bool
+	// Trace records a per-timestep breakdown into Result.Steps.
+	Trace bool
+}
+
+// StepRecord is one timestep's attribution (recorded when Job.Trace).
+type StepRecord struct {
+	Compute sim.Duration
+	Memory  sim.Duration
+	Heap    sim.Duration
+	Syscall sim.Duration
+	Comm    sim.Duration
+	Noise   sim.Duration
+}
+
+// Total returns the step's duration.
+func (s StepRecord) Total() sim.Duration {
+	return s.Compute + s.Memory + s.Heap + s.Syscall + s.Comm + s.Noise
+}
+
+// normalized fills defaults.
+func (j Job) normalized() Job {
+	if j.Fabric == nil {
+		j.Fabric = fabric.OmniPath()
+	}
+	if j.McK == nil {
+		opts := mckernel.DefaultOptions()
+		j.McK = &opts
+	}
+	if j.MOS == nil {
+		cfg := mos.DefaultConfig()
+		j.MOS = &cfg
+	}
+	if j.Linux == nil {
+		cfg := linuxos.DefaultConfig()
+		j.Linux = &cfg
+	}
+	return j
+}
+
+// Breakdown attributes the run's per-node time to mechanisms; the ablation
+// experiments and tests assert against it.
+type Breakdown struct {
+	Compute  sim.Duration // pure flops
+	Memory   sim.Duration // bandwidth-limited traffic
+	Heap     sim.Duration // brk servicing + heap faults
+	Syscall  sim.Duration // device syscalls, sched_yield, traps
+	Comm     sim.Duration // wire time of halo + collectives
+	Noise    sim.Duration // interference absorbed (incl. amplification)
+	SetupShm sim.Duration // first-touch of MPI shm windows (timed phase)
+}
+
+// Total sums the attributed time.
+func (b Breakdown) Total() sim.Duration {
+	return b.Compute + b.Memory + b.Heap + b.Syscall + b.Comm + b.Noise + b.SetupShm
+}
+
+// Result is one run's outcome.
+type Result struct {
+	App    string
+	Kernel string
+	Nodes  int
+	Ranks  int
+
+	// Elapsed is the timed (solve) phase duration.
+	Elapsed sim.Duration
+	// FOM is the application's figure of merit (rate in Unit).
+	FOM  float64
+	Unit string
+
+	// Setup is the untimed initialisation (mmap + first touch of the
+	// working set), reported for analysis.
+	Setup sim.Duration
+	// Breakdown attributes the timed phase.
+	Breakdown Breakdown
+	// HeapStats is rank 0's heap accounting after the run.
+	HeapStats mem.HeapStats
+	// MCDRAMBytes is the model node's MCDRAM residency after setup.
+	MCDRAMBytes int64
+	// DemandRanks counts ranks that ended up demand-paged.
+	DemandRanks int
+	// Steps holds the per-timestep attribution when Job.Trace was set.
+	Steps []StepRecord
+}
+
+// bootKernel constructs the requested kernel on a fresh KNL node.
+func bootKernel(j Job) (kernel.Kernel, error) {
+	node := hw.KNL7250SNC4()
+	if j.Quadrant {
+		node = hw.KNL7250Quadrant()
+	}
+	switch j.Kernel {
+	case kernel.TypeLinux:
+		return linuxos.Boot(node, *j.Linux)
+	case kernel.TypeMcKernel:
+		lin, err := linuxos.Boot(node, linuxos.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		g, err := ihk.Reserve(lin, ihk.DefaultReserveOptions())
+		if err != nil {
+			return nil, err
+		}
+		return mckernel.Boot(lin, g, *j.McK)
+	case kernel.TypeMOS:
+		return mos.Boot(node, *j.MOS)
+	default:
+		return nil, fmt.Errorf("cluster: unknown kernel type %v", j.Kernel)
+	}
+}
+
+// Run executes the job and returns its result.
+func Run(j Job) (Result, error) {
+	j = j.normalized()
+	if j.App == nil {
+		return Result{}, fmt.Errorf("cluster: job without application")
+	}
+	if err := j.App.Validate(); err != nil {
+		return Result{}, err
+	}
+	if j.Nodes <= 0 {
+		return Result{}, fmt.Errorf("cluster: bad node count %d", j.Nodes)
+	}
+	k, err := bootKernel(j)
+	if err != nil {
+		return Result{}, err
+	}
+	comm, err := mpi.New(j.Fabric, j.Nodes, j.App.RanksPerNode)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := sim.NewRNG(j.Seed ^ 0x6d6b6c697465) // "mklite"
+
+	node, err := setupNode(k, j, rng.Split())
+	if err != nil {
+		return Result{}, err
+	}
+	res := runSteps(k, j, comm, node, rng.Split())
+	res.App = j.App.Name
+	res.Kernel = k.Type().String()
+	res.Nodes = j.Nodes
+	res.Ranks = comm.Ranks()
+	res.Unit = j.App.Unit
+	return res, nil
+}

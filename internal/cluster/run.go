@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"mklite/internal/apps"
+	"mklite/internal/hw"
+	"mklite/internal/kernel"
+	"mklite/internal/mem"
+	"mklite/internal/mpi"
+	"mklite/internal/noise"
+	"mklite/internal/sim"
+)
+
+// haloNeighborhood is the synchronisation scope of a halo exchange: a rank
+// waits only for its stencil neighbours, so noise maxima are taken over a
+// small neighbourhood instead of the whole job — the reason halo-bound
+// applications (LAMMPS) show no Linux cliff.
+const haloNeighborhood = 27
+
+// runSteps executes the application's timestep loop.
+func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RNG) Result {
+	app := j.App
+	costs := k.Costs()
+	prof := k.Noise()
+	totalRanks := comm.Ranks()
+
+	// Wire costs are identical every step; precompute.
+	var haloWire sim.Duration
+	var haloMsgs float64
+	if app.Halo != nil {
+		if h := app.Halo(j.Nodes); h != nil && h.Rounds > 0 {
+			res := comm.HaloExchange(h.Bytes, h.Neighbors)
+			haloWire = res.Time * sim.Duration(h.Rounds)
+			haloMsgs = res.Messages * float64(h.Rounds)
+		}
+	}
+	type collRun struct {
+		every int
+		wire  sim.Duration
+		msgs  float64
+	}
+	var colls []collRun
+	if app.Colls != nil {
+		for _, c := range app.Colls(j.Nodes) {
+			every := c.Every
+			if every <= 0 {
+				every = 1
+			}
+			var res mpi.CollResult
+			switch c.Kind {
+			case apps.CollBcast:
+				res = comm.Bcast(c.Bytes)
+			case apps.CollAllgather:
+				res = comm.Allgather(c.Bytes)
+			case apps.CollAlltoall:
+				res = comm.Alltoall(c.Bytes)
+			default:
+				res = comm.Allreduce(c.Bytes)
+			}
+			colls = append(colls, collRun{every: every, wire: res.Time, msgs: res.Messages})
+		}
+	}
+
+	// Deterministic per-rank, per-step syscall overheads.
+	factor := app.DeviceSyscallFactor
+	if factor == 0 {
+		factor = 1
+	}
+	dsPerMsg := j.Fabric.SyscallsPerMessage * factor
+	ioctlTime := k.SyscallTime(kernel.SysIoctl)
+	yieldTime := k.SyscallTime(kernel.SysSchedYield)
+	brkTime := k.SyscallTime(kernel.SysBrk)
+
+	cpuTime := sim.DurationOf(app.FlopsPerStep(j.Nodes) / (app.EffGFlops * 1e9))
+
+	// When core 0 belongs to the application (no core specialisation —
+	// the 68-core configuration the paper's section III-A discusses),
+	// the rank on it absorbs the system services' detours and, being the
+	// slowest, gates every synchronisation.
+	core0Hosted := false
+	for _, c := range k.Partition().AppCores {
+		if c == 0 {
+			core0Hosted = true
+			break
+		}
+	}
+
+	var bd Breakdown
+	var res0Steps []StepRecord
+	bd.SetupShm = ns.shmFault
+	elapsed := ns.shmFault
+
+	for step := 0; step < app.Timesteps; step++ {
+		// Heap activity: every rank replays the per-step brk trace on
+		// its own heap engine; the slowest rank gates the node.
+		var heapMax sim.Duration
+		if app.HeapOpsPerStep != nil {
+			for _, rs := range ns.ranks {
+				var cost sim.Duration
+				var work mem.Work
+				for _, delta := range app.HeapOpsPerStep(j.Nodes) {
+					cost += brkTime
+					if _, w, err := rs.heap.Sbrk(delta); err == nil {
+						work.Accumulate(w)
+					}
+					if delta > 0 {
+						// The application uses what it just
+						// allocated before the next call —
+						// first touch happens here.
+						work.Accumulate(rs.heap.TouchUpTo(rs.heap.Size()))
+					}
+				}
+				cost += costs.WorkTime(work)
+				if cost > heapMax {
+					heapMax = cost
+				}
+			}
+		}
+
+		// Per-step message-driven device syscalls and spin waiting.
+		msgs := haloMsgs
+		collWire := sim.Duration(0)
+		collsDue := 0
+		for _, c := range colls {
+			if step%c.every == 0 {
+				msgs += c.msgs
+				collWire += c.wire
+				collsDue++
+			}
+		}
+		sysTime := sim.DurationOf(msgs*dsPerMsg*ioctlTime.Seconds()) +
+			sim.DurationOf(float64(app.SchedYieldsPerStep)*yieldTime.Seconds())
+
+		// The slowest rank's local phase gates the node (ranks differ
+		// only in memory placement).
+		var memMax sim.Duration
+		for _, rs := range ns.ranks {
+			if rs.memTime > memMax {
+				memMax = rs.memTime
+			}
+		}
+		base := cpuTime + memMax + heapMax + sysTime
+
+		// Interference: global collectives absorb the worst detour
+		// of the whole job; halo exchanges only a neighbourhood's.
+		var detour sim.Duration
+		switch {
+		case collsDue > 0:
+			for i := 0; i < collsDue; i++ {
+				detour += noise.MaxDetour(rng, prof, totalRanks, base)
+			}
+		case haloWire > 0:
+			nb := haloNeighborhood
+			if nb > totalRanks {
+				nb = totalRanks
+			}
+			detour = noise.MaxDetour(rng, prof, nb, base)
+		default:
+			detour = prof.DetourIn(rng, 1, base)
+		}
+		if core0Hosted {
+			if d0 := prof.DetourIn(rng, 0, base); d0 > detour {
+				detour = d0
+			}
+		}
+
+		elapsed += base + haloWire + collWire + detour
+		if j.Trace {
+			res0Steps = append(res0Steps, StepRecord{
+				Compute: cpuTime,
+				Memory:  memMax,
+				Heap:    heapMax,
+				Syscall: sysTime,
+				Comm:    haloWire + collWire,
+				Noise:   detour,
+			})
+		}
+		bd.Compute += cpuTime
+		bd.Memory += memMax
+		bd.Heap += heapMax
+		bd.Syscall += sysTime
+		bd.Comm += haloWire + collWire
+		bd.Noise += detour
+	}
+
+	work := app.WorkPerStepPerNode(j.Nodes) * float64(app.Timesteps)
+	fom := work / elapsed.Seconds()
+	if !app.PerNode {
+		fom *= float64(j.Nodes)
+	}
+	return Result{
+		Elapsed:     elapsed,
+		FOM:         fom,
+		Setup:       ns.setup,
+		Breakdown:   bd,
+		HeapStats:   ns.ranks[0].heap.Stats(),
+		MCDRAMBytes: mcdramResidency(k, ns),
+		DemandRanks: countDemandRanks(ns),
+		Steps:       res0Steps,
+	}
+}
+
+func mcdramResidency(k kernel.Kernel, ns *nodeState) int64 {
+	var total int64
+	for _, rs := range ns.ranks {
+		total += rs.as.BytesByKind()[hw.MCDRAM]
+	}
+	return total
+}
+
+func countDemandRanks(ns *nodeState) int {
+	n := 0
+	for _, rs := range ns.ranks {
+		if rs.ws.DemandActive {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,411 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"mklite/internal/hw"
+	"mklite/internal/kernel"
+	"mklite/internal/mem"
+	"mklite/internal/sim"
+)
+
+// upfrontHotBias models that applications allocate their arrays roughly in
+// order of access frequency, so even address-ordered upfront placement
+// captures hot data with a modest bias over the uniform assumption.
+const upfrontHotBias = 1.5
+
+// demandRounds is the interleaving granularity of first-touch population:
+// demand-paged ranks touch their working sets concurrently, so MCDRAM fills
+// round-robin across ranks instead of rank-by-rank — the sharing effect the
+// paper attributes McKernel's CCS-QCD win to.
+const demandRounds = 16
+
+// rankState is one rank's memory image on the model node.
+type rankState struct {
+	id       int
+	homeQuad int
+	as       *mem.AddrSpace
+	ws       *mem.VMA
+	heap     mem.Heap
+	shm      *mem.VMA
+
+	// memTime is the per-step memory-traffic service time.
+	memTime sim.Duration
+}
+
+// nodeState is the fully set-up model node.
+type nodeState struct {
+	ranks []*rankState
+	// setup is the untimed initialisation cost (max over ranks).
+	setup sim.Duration
+	// shmFault is the timed first-touch cost of the MPI shared-memory
+	// windows (avoided by --mpol-shm-premap).
+	shmFault sim.Duration
+}
+
+// rotateLocalFirst orders domain ids so that the rank's home-quadrant
+// domain of each kind comes first — the NUMA-aware placement both LWKs
+// implement.
+func rotateLocalFirst(ids []int, home int) []int {
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if id == home {
+			out = append(out, id)
+		}
+	}
+	for _, id := range ids {
+		if id != home {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// homeDomains maps a rank's quadrant index onto its local DDR domain and
+// the MCDRAM domain nearest to it, for any clustering mode (SNC-4 has four
+// of each; quadrant mode one of each).
+func homeDomains(node *hw.NodeSpec, quad int) (mcHome, ddrHome int) {
+	ddr := node.DomainsOfKind(hw.DDR4)
+	ddrHome = ddr[quad%len(ddr)]
+	mc := node.DomainsOfKind(hw.MCDRAM)
+	mcHome, err := node.NearestDomain(ddrHome, mc)
+	if err != nil {
+		mcHome = mc[0]
+	}
+	return mcHome, ddrHome
+}
+
+// wsPolicy derives the working-set placement policy for one rank,
+// reproducing each kernel's behaviour described in section II-D.
+func wsPolicy(k kernel.Kernel, j Job, quad int, wsBytes int64) mem.Policy {
+	node := k.Partition().Node
+	mcHome, ddrHome := homeDomains(node, quad)
+	mc := rotateLocalFirst(node.DomainsOfKind(hw.MCDRAM), mcHome)
+	ddr := rotateLocalFirst(node.DomainsOfKind(hw.DDR4), ddrHome)
+	pol := k.MapPolicy(mem.VMAAnon)
+
+	if j.ForceDDROnly {
+		pol.Domains = ddr
+		pol.FallbackDemand = false
+		return pol
+	}
+
+	switch k.Type() {
+	case kernel.TypeLinux:
+		switch {
+		case fitsInMCDRAM(j):
+			// numactl --membind on the MCDRAM domains: no
+			// fallback needed because the job is sized to fit.
+			pol.Domains = mc
+		case node.Mode == hw.Quadrant:
+			// In quadrant mode numactl -p can express "prefer
+			// MCDRAM, spill to DDR" — the tuning route the paper
+			// notes most KNL clusters take.
+			pol.Domains = append(append([]int{}, mc...), ddr...)
+		default:
+			// SNC-4 prevents "prefer all MCDRAM, spill to DDR":
+			// the paper runs such jobs from DDR4 only.
+			pol.Domains = ddr
+		}
+	case kernel.TypeMcKernel:
+		pol.Domains = append(append([]int{}, mc...), ddr...)
+		// McKernel's distinctive fallback: when the preferred NUMA
+		// domain cannot back the mapping, switch to demand paging
+		// for best-effort placement instead of dividing upfront.
+		if k.Caps().Has(kernel.CapDemandPagingFallback) &&
+			k.Phys().FreeBytes(mcHome) < wsBytes {
+			pol.Demand = true
+		}
+	case kernel.TypeMOS:
+		// Rigid launch-time division respecting NUMA boundaries:
+		// local MCDRAM, then local DDR, then the rest.
+		rest := append(rotateLocalFirst(mc, mcHome)[1:], rotateLocalFirst(ddr, ddrHome)[1:]...)
+		pol.Domains = append([]int{mcHome, ddrHome}, rest...)
+	}
+	return pol
+}
+
+// fitsInMCDRAM reports whether the job's per-node footprint fits the
+// 16 GiB of MCDRAM with headroom for heaps and windows.
+func fitsInMCDRAM(j Job) bool {
+	perNode := j.App.WorkingSetPerRank(j.Nodes) * int64(j.App.RanksPerNode)
+	return perNode <= 15*hw.GiB
+}
+
+// setupNode builds every rank's address space, working set, heap and MPI
+// shared-memory window through the kernel's real memory paths.
+func setupNode(k kernel.Kernel, j Job, rng *sim.RNG) (*nodeState, error) {
+	app := j.App
+	ws := app.WorkingSetPerRank(j.Nodes)
+	ns := &nodeState{}
+	costs := k.Costs()
+
+	for r := 0; r < app.RanksPerNode; r++ {
+		quad := r * 4 / app.RanksPerNode
+		rs := &rankState{id: r, homeQuad: quad, as: mem.NewAddrSpace(k.Phys())}
+
+		pol := wsPolicy(k, j, quad, ws)
+		v, err := rs.as.Map(ws, mem.VMAAnon, pol)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rank %d working set: %w", r, err)
+		}
+		rs.ws = v
+
+		var heapDomains []int
+		if j.ForceDDROnly {
+			_, ddrHome := homeDomains(k.Partition().Node, quad)
+			heapDomains = rotateLocalFirst(k.Partition().Node.DomainsOfKind(hw.DDR4), ddrHome)
+		}
+		h, err := k.NewHeap(rs.as, app.HeapLimitOrDefault(), heapDomains)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rank %d heap: %w", r, err)
+		}
+		rs.heap = h
+
+		if app.ShmWindowBytes > 0 {
+			shmPol := k.MapPolicy(mem.VMAShared)
+			node := k.Partition().Node
+			mcHome, ddrHome := homeDomains(node, quad)
+			mcLocal := rotateLocalFirst(node.DomainsOfKind(hw.MCDRAM), mcHome)
+			ddrLocal := rotateLocalFirst(node.DomainsOfKind(hw.DDR4), ddrHome)
+			shmPol.Domains = append(append([]int{}, mcLocal...), ddrLocal...)
+			if j.ForceDDROnly || (k.Type() == kernel.TypeLinux && !fitsInMCDRAM(j)) {
+				// DDR-pinned job (Table I) or a Linux job that
+				// cannot express MCDRAM preference in SNC-4.
+				shmPol.Domains = ddrLocal
+			}
+			sv, err := rs.as.Map(app.ShmWindowBytes, mem.VMAShared, shmPol)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: rank %d shm window: %w", r, err)
+			}
+			rs.shm = sv
+		}
+		ns.ranks = append(ns.ranks, rs)
+	}
+
+	// First-touch population, interleaved across ranks, hot bytes first
+	// (initialisation order follows access frequency in these codes).
+	// Watermarks are 2 MiB aligned: sequential first touch populates in
+	// huge-page chunks on every kernel (THP on Linux, upfront granules
+	// on the LWKs); the interleaving is between ranks, not within pages.
+	align2M := func(x int64) int64 {
+		const m = int64(hw.Page2M)
+		return (x + m - 1) / m * m
+	}
+	hot := int64(float64(ws) * app.HotFraction)
+	for round := 1; round <= demandRounds; round++ {
+		for _, rs := range ns.ranks {
+			if !rs.ws.DemandActive {
+				continue
+			}
+			if hot > 0 {
+				rs.as.Touch(rs.ws, 0, align2M(hot*int64(round)/demandRounds))
+			} else {
+				rs.as.Touch(rs.ws, 0, align2M(ws*int64(round)/demandRounds))
+			}
+		}
+	}
+	if hot > 0 {
+		for round := 1; round <= demandRounds; round++ {
+			for _, rs := range ns.ranks {
+				if rs.ws.DemandActive {
+					rs.as.Touch(rs.ws, 0, align2M(hot+(ws-hot)*int64(round)/demandRounds))
+				}
+			}
+		}
+	}
+
+	// Untimed setup cost: faults (demand) or page-table population and
+	// zeroing (upfront); identical ranks, take the max.
+	for _, rs := range ns.ranks {
+		var w mem.Work
+		w.Faults = rs.ws.Faults
+		w.PagesMapped = int64(len(rs.ws.Backings))
+		w.ZeroedBytes = rs.ws.Populated
+		if c := costs.WorkTime(w); c > ns.setup {
+			ns.setup = c
+		}
+	}
+
+	// MPI shared-memory windows: demand-paged windows fault during the
+	// first exchanges — inside the timed phase, and under contention
+	// (every rank faults into the handler at once).
+	const shmContention = 4
+	for _, rs := range ns.ranks {
+		if rs.shm == nil {
+			continue
+		}
+		if rs.shm.DemandActive {
+			res := rs.as.Touch(rs.shm, 0, rs.shm.Size)
+			w := mem.Work{Faults: res.Faults * shmContention, ZeroedBytes: res.BytesPopulated}
+			if c := costs.WorkTime(w); c > ns.shmFault {
+				ns.shmFault = c
+			}
+		} else {
+			// Premapped: the cost moved into untimed setup.
+			w := mem.Work{PagesMapped: int64(len(rs.shm.Backings)), ZeroedBytes: rs.shm.Populated}
+			if c := costs.WorkTime(w); c > ns.setup {
+				ns.setup += c
+			}
+		}
+	}
+
+	// Derive each rank's per-step memory service time.
+	for _, rs := range ns.ranks {
+		rs.memTime = memTimeFor(k, j, rs)
+	}
+	return ns, nil
+}
+
+// contiguityFactor credits physically contiguous backing with up to 4%
+// extra effective bandwidth: "An implication of contiguous physical memory
+// is better cache performance, similar to techniques such as page
+// coloring" (section II-D3). The credit ramps logarithmically from 2 MiB
+// extents (none) to 1 GiB extents (full).
+func contiguityFactor(avgExtent int64) float64 {
+	const (
+		lo    = float64(hw.Page2M)
+		hi    = float64(hw.Page1G)
+		bonus = 0.04
+	)
+	if avgExtent <= int64(lo) {
+		return 1
+	}
+	f := math.Log(float64(avgExtent)/lo) / math.Log(hi/lo)
+	if f > 1 {
+		f = 1
+	}
+	return 1 + bonus*f
+}
+
+// memTimeFor computes a rank's per-step memory-traffic time from where its
+// pages actually landed: MCDRAM vs DDR4 split (with the hot-data model),
+// per-rank bandwidth shares and TLB derating by page size.
+func memTimeFor(k kernel.Kernel, j Job, rs *rankState) sim.Duration {
+	app := j.App
+	traffic := float64(app.MemTrafficPerStep(j.Nodes))
+	if traffic <= 0 {
+		return 0
+	}
+	node := k.Partition().Node
+	ws := float64(rs.ws.Populated)
+	if ws <= 0 {
+		// Nothing resident: everything will fault later; treat as DDR.
+		ws = float64(rs.ws.Size)
+	}
+
+	// Bytes and page mix by kind for the working-set area.
+	var mcBytes, ddrBytes float64
+	mixByKind := map[hw.MemKind]map[hw.PageSize]int64{
+		hw.MCDRAM: {}, hw.DDR4: {},
+	}
+	for _, b := range rs.ws.Backings {
+		d, err := node.Domain(b.Ext.Domain)
+		if err != nil {
+			continue
+		}
+		mixByKind[d.Mem.Kind][b.Page] += b.Ext.Size
+		if d.Mem.Kind == hw.MCDRAM {
+			mcBytes += float64(b.Ext.Size)
+		} else {
+			ddrBytes += float64(b.Ext.Size)
+		}
+	}
+
+	// Physical contiguity per kind (average extent size) feeds the
+	// cache-benefit credit below.
+	type extStat struct{ bytes, count int64 }
+	extStats := map[hw.MemKind]extStat{}
+	for _, b := range rs.ws.Backings {
+		d, err := node.Domain(b.Ext.Domain)
+		if err != nil {
+			continue
+		}
+		e := extStats[d.Mem.Kind]
+		e.bytes += b.Ext.Size
+		e.count++
+		extStats[d.Mem.Kind] = e
+	}
+
+	// Per-rank bandwidth share of each kind, TLB-derated and credited
+	// for physical contiguity.
+	bwShare := func(kind hw.MemKind) float64 {
+		var total float64
+		var dev hw.MemDeviceSpec
+		for _, d := range node.Domains {
+			if d.Mem.Kind == kind {
+				total += d.Mem.StreamBandwidth
+				dev = d.Mem
+			}
+		}
+		share := total / float64(app.RanksPerNode)
+		kindBytes := int64(0)
+		frac := map[hw.PageSize]float64{}
+		for _, b := range mixByKind[kind] {
+			kindBytes += b
+		}
+		if kindBytes > 0 {
+			for p, b := range mixByKind[kind] {
+				frac[p] = float64(b) / float64(kindBytes)
+			}
+			derate := node.TLB.EffectiveBandwidth(dev, kindBytes, frac) / dev.StreamBandwidth
+			share *= derate
+		}
+		if e := extStats[kind]; e.count > 0 {
+			share *= contiguityFactor(e.bytes / e.count)
+		}
+		return share * float64(hw.GiB) // bytes/s
+	}
+	bwMC := bwShare(hw.MCDRAM)
+	bwDDR := bwShare(hw.DDR4)
+
+	mcFrac := mcBytes / ws
+	if mcFrac > 1 {
+		mcFrac = 1
+	}
+
+	if app.HotFraction <= 0 {
+		t := traffic * (mcFrac/bwMC + (1-mcFrac)/bwDDR)
+		if mcBytes == 0 {
+			t = traffic / bwDDR
+		}
+		return sim.DurationOf(t)
+	}
+
+	// Hot-data model: hot bytes receive HotTraffic of the traffic.
+	hot := app.HotFraction * float64(rs.ws.Size)
+	cold := float64(rs.ws.Size) - hot
+	var hotMCFrac, coldMCFrac float64
+	if rs.ws.DemandActive {
+		// Hot-first touch order: MCDRAM filled with hot bytes.
+		hotInMC := mcBytes
+		if hotInMC > hot {
+			hotInMC = hot
+		}
+		hotMCFrac = hotInMC / hot
+		if cold > 0 {
+			coldMCFrac = (mcBytes - hotInMC) / cold
+		}
+	} else {
+		// Upfront address-ordered placement with a modest hot bias.
+		hotMCFrac = mcFrac * upfrontHotBias
+		if hotMCFrac > 1 {
+			hotMCFrac = 1
+		}
+		if cold > 0 {
+			coldMCFrac = (mcBytes - hotMCFrac*hot) / cold
+			if coldMCFrac < 0 {
+				coldMCFrac = 0
+			}
+			if coldMCFrac > 1 {
+				coldMCFrac = 1
+			}
+		}
+	}
+	hotT := app.HotTraffic * traffic
+	coldT := traffic - hotT
+	t := hotT*(hotMCFrac/bwMC+(1-hotMCFrac)/bwDDR) +
+		coldT*(coldMCFrac/bwMC+(1-coldMCFrac)/bwDDR)
+	return sim.DurationOf(t)
+}

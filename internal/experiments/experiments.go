@@ -1,0 +1,231 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section from the simulation harness: Figure 4 (relative
+// medians across all eight applications), Figures 5a/5b (CCS-QCD and
+// MiniFE scaling), Figures 6a/6b (Lulesh 2.0 and LAMMPS scaling), Table I
+// (Lulesh brk optimisations in DDR4), the LTP conformance counts of
+// section III-D, the Lulesh brk trace and the McKernel proxy-option
+// results of section IV, plus the design-choice ablations.
+package experiments
+
+import (
+	"fmt"
+
+	"mklite/internal/apps"
+	"mklite/internal/cluster"
+	"mklite/internal/kernel"
+	"mklite/internal/stats"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Reps is the number of repetitions per point; the paper runs
+	// most applications five times and plots median with min/max.
+	Reps int
+	// Seed is the base seed; repetition i uses Seed+i.
+	Seed uint64
+	// Quick restricts sweeps to three node counts per application so
+	// the full suite stays test-budget friendly.
+	Quick bool
+}
+
+// DefaultConfig mirrors the paper's methodology.
+func DefaultConfig() Config { return Config{Reps: 5, Seed: 1} }
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// nodeCounts selects the sweep points for an application.
+func (c Config) nodeCounts(app *apps.Spec) []int {
+	all := app.NodeCounts
+	if !c.Quick || len(all) <= 3 {
+		return all
+	}
+	return []int{all[0], all[len(all)/2], all[len(all)-1]}
+}
+
+// measure runs one configuration Reps times and summarises the FOMs.
+func measure(cfg Config, job cluster.Job) (stats.Summary, error) {
+	foms := make([]float64, 0, cfg.Reps)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		job.Seed = cfg.Seed + uint64(rep)*7919
+		res, err := cluster.Run(job)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		foms = append(foms, res.FOM)
+	}
+	return stats.Summarize(foms), nil
+}
+
+// sweep builds one kernel's scaling series for an application.
+func sweep(cfg Config, app *apps.Spec, kt kernel.Type, mutate func(*cluster.Job)) (*stats.Series, error) {
+	s := &stats.Series{Name: kt.String(), Unit: app.Unit}
+	for _, nodes := range cfg.nodeCounts(app) {
+		job := cluster.Job{App: app, Kernel: kt, Nodes: nodes}
+		if mutate != nil {
+			mutate(&job)
+		}
+		sum, err := measure(cfg, job)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %v at %d nodes: %w", app.Name, kt, nodes, err)
+		}
+		s.Add(nodes, sum)
+	}
+	return s, nil
+}
+
+// appFigure builds the three-kernel figure for one application.
+func appFigure(cfg Config, app *apps.Spec, id string) (*stats.Figure, error) {
+	fig := &stats.Figure{ID: id, Title: fmt.Sprintf("%s (%s)", app.Name, app.Desc)}
+	for _, kt := range []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS} {
+		s, err := sweep(cfg, app, kt, nil)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RelativeFigure converts an absolute three-kernel figure into the paper's
+// normalised form: McKernel and mOS medians relative to the Linux median at
+// the same node count (Figure 4 / Figure 5a presentation).
+func RelativeFigure(fig *stats.Figure) *stats.Figure {
+	base := fig.Get("Linux")
+	out := &stats.Figure{ID: fig.ID + "-rel", Title: fig.Title + " (relative to Linux)"}
+	for _, s := range fig.Series {
+		if s == base {
+			continue
+		}
+		rel := s.RelativeTo(base)
+		rel.Name = s.Name
+		out.Series = append(out.Series, rel)
+	}
+	return out
+}
+
+// Figure4 reproduces the headline comparison: every application swept over
+// its node counts on all three kernels. The returned figures are absolute;
+// apply RelativeFigure for the paper's normalised presentation.
+func Figure4(cfg Config) ([]*stats.Figure, error) {
+	cfg = cfg.normalize()
+	var out []*stats.Figure
+	for _, app := range apps.All() {
+		fig, err := appFigure(cfg, app, "fig4-"+app.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// Figure4Medians summarises Figure 4 the way the paper's abstract does:
+// the median relative improvement across all applications and node counts,
+// and the best observed point.
+type Figure4Summary struct {
+	MedianImprovement float64 // e.g. 1.09 for +9%
+	BestImprovement   float64 // e.g. 3.8 for +280%
+	BestApp           string
+	BestNodes         int
+	BestKernel        string
+}
+
+// SummarizeFigure4 computes the cross-application summary.
+func SummarizeFigure4(figs []*stats.Figure) Figure4Summary {
+	var ratios []float64
+	best := Figure4Summary{}
+	for _, fig := range figs {
+		base := fig.Get("Linux")
+		if base == nil {
+			continue
+		}
+		for _, s := range fig.Series {
+			if s == base {
+				continue
+			}
+			for _, p := range s.Points {
+				bp, ok := base.At(p.Nodes)
+				if !ok || bp.Median == 0 {
+					continue
+				}
+				r := p.Median / bp.Median
+				ratios = append(ratios, r)
+				if r > best.BestImprovement {
+					best.BestImprovement = r
+					best.BestApp = fig.ID
+					best.BestNodes = p.Nodes
+					best.BestKernel = s.Name
+				}
+			}
+		}
+	}
+	if len(ratios) > 0 {
+		best.MedianImprovement = stats.Median(ratios)
+	}
+	return best
+}
+
+// Figure5a reproduces the CCS-QCD scaling comparison as a percentage of the
+// Linux median ("% of Linux median" on the paper's y axis).
+func Figure5a(cfg Config) (*stats.Figure, error) {
+	cfg = cfg.normalize()
+	abs, err := appFigure(cfg, apps.CCSQCD(), "fig5a")
+	if err != nil {
+		return nil, err
+	}
+	rel := RelativeFigure(abs)
+	rel.ID = "fig5a"
+	rel.Title = "CCS-QCD, clover fermion: % of Linux median (4 ranks/node, 32 threads)"
+	for _, s := range rel.Series {
+		s.Unit = "% of Linux"
+		for i := range s.Points {
+			s.Points[i].Median *= 100
+			s.Points[i].Min *= 100
+			s.Points[i].Max *= 100
+			s.Points[i].Mean *= 100
+		}
+	}
+	return rel, nil
+}
+
+// Figure5b reproduces the MiniFE strong-scaling plot (absolute Mflops).
+func Figure5b(cfg Config) (*stats.Figure, error) {
+	cfg = cfg.normalize()
+	fig, err := appFigure(cfg, apps.MiniFE(), "fig5b")
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "miniFE 660x660x660: total Mflops (64 ranks/node, 4 threads)"
+	return fig, nil
+}
+
+// Figure6a reproduces the Lulesh 2.0 scaling plot (zones/s).
+func Figure6a(cfg Config) (*stats.Figure, error) {
+	cfg = cfg.normalize()
+	fig, err := appFigure(cfg, apps.Lulesh(), "fig6a")
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "LULESH 2.0 s50: zones/s (64 ranks/node, 2 threads)"
+	return fig, nil
+}
+
+// Figure6b reproduces the LAMMPS scaling plot (timesteps/s).
+func Figure6b(cfg Config) (*stats.Figure, error) {
+	cfg = cfg.normalize()
+	fig, err := appFigure(cfg, apps.LAMMPS(), "fig6b")
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "LAMMPS lj weak scaling: timesteps/s (64 ranks/node, 2 threads)"
+	return fig, nil
+}

@@ -1,0 +1,102 @@
+package kernel
+
+import (
+	"mklite/internal/mem"
+	"mklite/internal/sim"
+)
+
+// Costs holds a kernel's service-time constants. They are calibrated to the
+// magnitudes the paper's discussion implies (syscall traps in the hundreds
+// of nanoseconds, offload round trips in the microseconds, page faults with
+// zeroing in the microsecond range) — the shapes of the results depend on
+// the ratios, not the absolute values.
+type Costs struct {
+	// Trap is the user->kernel->user crossing cost of a native syscall.
+	Trap sim.Duration
+	// OffloadRTT is the extra round-trip cost of an offloaded syscall:
+	// IKC message + proxy wakeup for McKernel, thread migration for
+	// mOS.
+	OffloadRTT sim.Duration
+	// FaultBase is the page-fault service cost excluding zeroing.
+	FaultBase sim.Duration
+	// ZeroGiBps is the memset bandwidth used for page clearing.
+	ZeroGiBps float64
+	// PTESetup is the cost to install one page-table entry during
+	// kernel-driven population (mmap/brk time).
+	PTESetup sim.Duration
+	// ContextSwitch is the scheduler's task-switch cost.
+	ContextSwitch sim.Duration
+	// TickOverhead is the per-timer-tick cost on tick-driven kernels.
+	TickOverhead sim.Duration
+}
+
+// WorkTime converts mechanical memory work (from the mem package) into
+// kernel service time: fault servicing, zeroing and page-table population.
+// The syscall trap itself is charged by SyscallTime, not here.
+func (c Costs) WorkTime(w mem.Work) sim.Duration {
+	t := sim.Duration(w.Faults) * c.FaultBase
+	t += sim.Duration(w.PagesMapped) * c.PTESetup
+	if c.ZeroGiBps > 0 && w.ZeroedBytes > 0 {
+		t += sim.DurationOf(float64(w.ZeroedBytes) / (c.ZeroGiBps * float64(1<<30)))
+	}
+	if c.ZeroGiBps > 0 && w.CopiedBytes > 0 {
+		// Page migration copies at memset-like bandwidth.
+		t += sim.DurationOf(float64(w.CopiedBytes) / (c.ZeroGiBps * float64(1<<30)))
+	}
+	return t
+}
+
+// SyscallTime returns the expected service time of one invocation given
+// its disposition: a trap, plus the offload round trip when the call leaves
+// the local kernel. Unsupported calls cost a trap (to fail).
+func (c Costs) SyscallTime(d Disposition) sim.Duration {
+	switch d {
+	case Offloaded:
+		return c.Trap + c.OffloadRTT
+	default:
+		return c.Trap
+	}
+}
+
+// LinuxCosts are the Linux kernel model's constants: heavier trap path
+// (full context tracking), no offload, tick-driven scheduling.
+func LinuxCosts() Costs {
+	return Costs{
+		Trap:          400 * sim.Nanosecond,
+		OffloadRTT:    0,
+		FaultBase:     1200 * sim.Nanosecond,
+		ZeroGiBps:     8,
+		PTESetup:      150 * sim.Nanosecond,
+		ContextSwitch: 2 * sim.Microsecond,
+		TickOverhead:  3 * sim.Microsecond,
+	}
+}
+
+// McKernelCosts: thin LWK trap, proxy-based offload over IKC (two message
+// hops plus proxy wakeup — the more expensive of the two offload designs).
+func McKernelCosts() Costs {
+	return Costs{
+		Trap:          180 * sim.Nanosecond,
+		OffloadRTT:    3500 * sim.Nanosecond,
+		FaultBase:     900 * sim.Nanosecond,
+		ZeroGiBps:     8,
+		PTESetup:      120 * sim.Nanosecond,
+		ContextSwitch: 1 * sim.Microsecond,
+		TickOverhead:  0, // tickless
+	}
+}
+
+// MOSCosts: thin LWK trap; offload by migrating the issuing thread into
+// Linux — cheaper than a proxy round trip because the thread's
+// task_struct is directly usable on the Linux side.
+func MOSCosts() Costs {
+	return Costs{
+		Trap:          180 * sim.Nanosecond,
+		OffloadRTT:    2200 * sim.Nanosecond,
+		FaultBase:     900 * sim.Nanosecond,
+		ZeroGiBps:     8,
+		PTESetup:      120 * sim.Nanosecond,
+		ContextSwitch: 1 * sim.Microsecond,
+		TickOverhead:  0, // tickless
+	}
+}

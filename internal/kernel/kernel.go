@@ -1,0 +1,109 @@
+package kernel
+
+import (
+	"mklite/internal/mem"
+	"mklite/internal/noise"
+	"mklite/internal/sim"
+)
+
+// Type identifies a kernel model.
+type Type int
+
+const (
+	TypeLinux Type = iota
+	TypeMcKernel
+	TypeMOS
+)
+
+// String names the kernel type as the paper's figures do.
+func (t Type) String() string {
+	switch t {
+	case TypeLinux:
+		return "Linux"
+	case TypeMcKernel:
+		return "McKernel"
+	case TypeMOS:
+		return "mOS"
+	default:
+		return "unknown"
+	}
+}
+
+// Kernel is the behaviour surface the harness, the conformance suite and
+// the application models program against. Concrete implementations live in
+// internal/linuxos, internal/mckernel and internal/mos.
+type Kernel interface {
+	Name() string
+	Type() Type
+	// Caps reports semantic capabilities (conformance-level features).
+	Caps() CapSet
+	// Table reports per-syscall dispositions.
+	Table() *Table
+	// Costs reports the service-cost constants.
+	Costs() Costs
+	// Noise reports the interference profile of application cores.
+	Noise() *noise.Profile
+	// Partition reports the node's core split.
+	Partition() Partition
+	// Phys is the physical memory pool this kernel manages for
+	// applications.
+	Phys() *mem.Phys
+	// MapPolicy returns the default placement policy for an
+	// application mapping of the given kind.
+	MapPolicy(kind mem.VMAKind) mem.Policy
+	// NewHeap builds this kernel's heap engine for a process. A
+	// non-nil domains list overrides the kernel's placement preference
+	// (set_mempolicy on the heap area).
+	NewHeap(as *mem.AddrSpace, limit int64, domains []int) (mem.Heap, error)
+	// SyscallTime returns the expected service time of one invocation.
+	SyscallTime(n Sysno) sim.Duration
+	// Sched returns the scheduler configuration of application cores.
+	Sched() SchedConfig
+}
+
+// Base supplies the boilerplate part of a Kernel; concrete kernels embed
+// it and add their memory behaviour.
+type Base struct {
+	KName  string
+	KType  Type
+	KCaps  CapSet
+	KTable *Table
+	KCosts Costs
+	KNoise *noise.Profile
+	KPart  Partition
+	KPhys  *mem.Phys
+	KSched SchedConfig
+}
+
+// Name implements Kernel.
+func (b *Base) Name() string { return b.KName }
+
+// Type implements Kernel.
+func (b *Base) Type() Type { return b.KType }
+
+// Caps implements Kernel.
+func (b *Base) Caps() CapSet { return b.KCaps }
+
+// Table implements Kernel.
+func (b *Base) Table() *Table { return b.KTable }
+
+// Costs implements Kernel.
+func (b *Base) Costs() Costs { return b.KCosts }
+
+// Noise implements Kernel.
+func (b *Base) Noise() *noise.Profile { return b.KNoise }
+
+// Partition implements Kernel.
+func (b *Base) Partition() Partition { return b.KPart }
+
+// Phys implements Kernel.
+func (b *Base) Phys() *mem.Phys { return b.KPhys }
+
+// Sched implements Kernel.
+func (b *Base) Sched() SchedConfig { return b.KSched }
+
+// SyscallTime implements Kernel: trap plus offload round trip per the
+// disposition table.
+func (b *Base) SyscallTime(n Sysno) sim.Duration {
+	return b.KCosts.SyscallTime(b.KTable.Get(n))
+}

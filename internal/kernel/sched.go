@@ -1,0 +1,123 @@
+package kernel
+
+import "mklite/internal/sim"
+
+// SchedConfig describes a single-core scheduler model. Both the paper's
+// LWKs "employ a round-robin, non-preemptive, co-operative scheduler";
+// Linux time-shares with a periodic tick; McKernel optionally enables time
+// sharing "only on specific CPU cores".
+type SchedConfig struct {
+	// Preemptive enables timeslice-driven round robin; otherwise tasks
+	// run to completion in arrival order.
+	Preemptive bool
+	// Timeslice is the preemption quantum (preemptive only).
+	Timeslice sim.Duration
+	// ContextSwitch is charged at every task switch.
+	ContextSwitch sim.Duration
+	// TickPeriod/TickOverhead model the scheduler tick: on tick-driven
+	// kernels every running task loses TickOverhead every TickPeriod.
+	TickPeriod   sim.Duration
+	TickOverhead sim.Duration
+}
+
+// CooperativeLWK returns the LWK scheduler configuration.
+func CooperativeLWK(costs Costs) SchedConfig {
+	return SchedConfig{
+		Preemptive:    false,
+		ContextSwitch: costs.ContextSwitch,
+	}
+}
+
+// TimeSharing returns a tick-driven preemptive configuration (Linux, or
+// McKernel's optional time-sharing cores).
+func TimeSharing(costs Costs, timeslice, tickPeriod sim.Duration) SchedConfig {
+	return SchedConfig{
+		Preemptive:    true,
+		Timeslice:     timeslice,
+		ContextSwitch: costs.ContextSwitch,
+		TickPeriod:    tickPeriod,
+		TickOverhead:  costs.TickOverhead,
+	}
+}
+
+// SchedResult reports a schedule simulation.
+type SchedResult struct {
+	// Completion[i] is the virtual time task i finished.
+	Completion []sim.Duration
+	// Makespan is the completion time of the last task.
+	Makespan sim.Duration
+	// Switches is the number of context switches taken.
+	Switches int
+	// Overhead is the total non-application time (switches + ticks).
+	Overhead sim.Duration
+}
+
+// RunSchedule simulates running the given tasks (pure compute demands) on
+// one core under the configuration and returns per-task completion times.
+// Deterministic: no randomness is involved.
+func RunSchedule(tasks []sim.Duration, cfg SchedConfig) SchedResult {
+	res := SchedResult{Completion: make([]sim.Duration, len(tasks))}
+	if len(tasks) == 0 {
+		return res
+	}
+
+	if !cfg.Preemptive {
+		var now sim.Duration
+		for i, w := range tasks {
+			if i > 0 {
+				now += cfg.ContextSwitch
+				res.Switches++
+				res.Overhead += cfg.ContextSwitch
+			}
+			now += w
+			res.Completion[i] = now
+		}
+		res.Makespan = now
+		return res
+	}
+
+	// Preemptive round robin with tick accounting. Tick overhead is
+	// folded in as a rate: every TickPeriod of wall time costs
+	// TickOverhead, stretching compute proportionally.
+	stretch := 1.0
+	if cfg.TickPeriod > 0 && cfg.TickOverhead > 0 {
+		stretch = 1 + float64(cfg.TickOverhead)/float64(cfg.TickPeriod)
+	}
+	remaining := make([]sim.Duration, len(tasks))
+	copy(remaining, tasks)
+	live := len(tasks)
+	var now sim.Duration
+	cur := -1
+	for live > 0 {
+		progressed := false
+		for i := range remaining {
+			if remaining[i] <= 0 {
+				continue
+			}
+			if cur != i && cur != -1 {
+				now += cfg.ContextSwitch
+				res.Switches++
+				res.Overhead += cfg.ContextSwitch
+			}
+			cur = i
+			slice := cfg.Timeslice
+			if slice <= 0 || slice > remaining[i] {
+				slice = remaining[i]
+			}
+			wall := slice.Scale(stretch)
+			res.Overhead += wall - slice
+			now += wall
+			remaining[i] -= slice
+			if remaining[i] <= 0 {
+				res.Completion[i] = now
+				live--
+			}
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	res.Makespan = now
+	return res
+}

@@ -1,0 +1,5 @@
+package mem
+
+// CheckInvariants exposes the allocator's internal consistency check to
+// tests.
+func (p *Phys) CheckInvariants() error { return p.checkInvariants() }

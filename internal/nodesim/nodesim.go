@@ -1,0 +1,185 @@
+// Package nodesim is a discrete-event simulation of a single node: every
+// rank is a cooperative process on its own core, OS noise stretches its
+// compute phases, offloaded system calls travel through the IKC to a
+// finite pool of Linux-side servicing cores (where they queue), and ranks
+// synchronise through an intra-node barrier.
+//
+// The cluster harness (internal/cluster) composes the same mechanisms
+// analytically for speed; nodesim executes them event by event, which
+// captures what the analytic model folds away — offload queueing under
+// bursts and barrier-edge effects — and serves as its validation harness
+// (see the cross-check tests).
+package nodesim
+
+import (
+	"fmt"
+
+	"mklite/internal/ihk"
+	"mklite/internal/kernel"
+	"mklite/internal/sim"
+)
+
+// Config describes one node-level run.
+type Config struct {
+	// Kern supplies scheduling, costs, noise and the partition.
+	Kern kernel.Kernel
+	// Ranks is the number of application processes (each pinned to its
+	// own application core; must not exceed the partition).
+	Ranks int
+	// Steps is the number of timesteps.
+	Steps int
+	// ComputePerStep is the pure per-rank compute time per step.
+	ComputePerStep sim.Duration
+	// SyscallsPerStep is the number of offload-class syscalls each rank
+	// issues per step (device-file operations).
+	SyscallsPerStep int
+	// SyscallService is the Linux-side service time per call.
+	SyscallService sim.Duration
+	// Barrier synchronises all ranks at the end of every step.
+	Barrier bool
+	// Seed drives the noise sampling.
+	Seed uint64
+}
+
+// Result is a node-level run's outcome.
+type Result struct {
+	// Elapsed is the virtual time from start to the last rank's finish.
+	Elapsed sim.Duration
+	// StepEnds records when each step's barrier completed (empty when
+	// Barrier is false).
+	StepEnds []sim.Time
+	// OffloadsServiced counts completed offloaded syscalls.
+	OffloadsServiced int
+	// MaxOffloadLatency is the worst single offload round trip
+	// (queueing included).
+	MaxOffloadLatency sim.Duration
+	// NoiseTotal is the summed noise detour across ranks.
+	NoiseTotal sim.Duration
+}
+
+// barrier is a reusable all-ranks rendezvous.
+type barrier struct {
+	n       int
+	arrived int
+	sig     *sim.Signal
+}
+
+func newBarrier(n int) *barrier { return &barrier{n: n, sig: &sim.Signal{}} }
+
+// wait blocks until all n participants have arrived.
+func (b *barrier) wait(p *sim.Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		old := b.sig
+		b.sig = &sim.Signal{}
+		old.Fire(p.Engine())
+		// The releasing rank does not wait; it continues once the
+		// others are scheduled to wake.
+		return
+	}
+	p.WaitSignal(b.sig)
+}
+
+// Run executes the node simulation.
+func Run(cfg Config) (Result, error) {
+	if cfg.Kern == nil {
+		return Result{}, fmt.Errorf("nodesim: nil kernel")
+	}
+	part := cfg.Kern.Partition()
+	if cfg.Ranks <= 0 || cfg.Ranks > len(part.AppCores) {
+		return Result{}, fmt.Errorf("nodesim: %d ranks for %d application cores", cfg.Ranks, len(part.AppCores))
+	}
+	if cfg.Steps <= 0 {
+		return Result{}, fmt.Errorf("nodesim: non-positive step count")
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	rootRNG := eng.RNG().Split()
+	costs := cfg.Kern.Costs()
+	prof := cfg.Kern.Noise()
+
+	// Offloads are serviced by the partition's OS cores. Native-syscall
+	// kernels (Linux) execute locally instead.
+	offloaded := cfg.Kern.Table().Get(kernel.SysIoctl) == kernel.Offloaded
+	var srv *ihk.OffloadServer
+	var softOverhead sim.Duration
+	if offloaded {
+		ikcChan := ihk.NewIKC(part)
+		srv = ihk.NewOffloadServer(eng, ikcChan, len(part.OSCores))
+		// The design-specific software cost on top of the IKC wire
+		// time: proxy wakeup and argument marshalling for McKernel,
+		// the cheaper task_struct hand-off for mOS.
+		if softOverhead = costs.OffloadRTT - 2*ikcChan.LocalLatency; softOverhead < 0 {
+			softOverhead = 0
+		}
+	}
+
+	res := Result{}
+	bar := newBarrier(cfg.Ranks)
+	var finished int
+	var last sim.Time
+
+	for r := 0; r < cfg.Ranks; r++ {
+		core := part.AppCores[r]
+		rng := rootRNG.Split()
+		eng.Spawn(fmt.Sprintf("rank-%d", r), func(p *sim.Proc) {
+			for step := 0; step < cfg.Steps; step++ {
+				// Compute, stretched by this core's noise.
+				detour := prof.DetourIn(rng, core, cfg.ComputePerStep)
+				res.NoiseTotal += detour
+				p.Sleep(cfg.ComputePerStep + detour)
+
+				// Device syscalls.
+				for s := 0; s < cfg.SyscallsPerStep; s++ {
+					start := p.Now()
+					if offloaded {
+						p.Sleep(costs.Trap + softOverhead)
+						if err := srv.Offload(p, core, cfg.SyscallService); err != nil {
+							return
+						}
+					} else {
+						p.Sleep(costs.Trap + cfg.SyscallService)
+					}
+					if d := sim.Duration(p.Now() - start); d > res.MaxOffloadLatency {
+						res.MaxOffloadLatency = d
+					}
+				}
+
+				if cfg.Barrier {
+					bar.wait(p)
+					if r == 0 {
+						res.StepEnds = append(res.StepEnds, p.Now())
+					}
+				}
+			}
+			finished++
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	eng.RunUntil(sim.Time(sim.Hour))
+	if finished != cfg.Ranks {
+		return Result{}, fmt.Errorf("nodesim: only %d of %d ranks finished (deadlock?)", finished, cfg.Ranks)
+	}
+	if offloaded {
+		res.OffloadsServiced = srv.Serviced
+	}
+	res.Elapsed = sim.Duration(last)
+	return res, nil
+}
+
+// AnalyticEstimate is the closed-form per-step cost the cluster harness
+// uses: compute plus syscall costs, without queueing or barrier effects.
+// Comparing it with Run quantifies what the analytic model omits.
+func AnalyticEstimate(cfg Config) sim.Duration {
+	costs := cfg.Kern.Costs()
+	per := cfg.ComputePerStep
+	perCall := costs.Trap + cfg.SyscallService
+	if cfg.Kern.Table().Get(kernel.SysIoctl) == kernel.Offloaded {
+		perCall += costs.OffloadRTT
+	}
+	per += sim.Duration(cfg.SyscallsPerStep) * perCall
+	return sim.Duration(cfg.Steps) * per
+}

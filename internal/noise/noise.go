@@ -1,0 +1,258 @@
+// Package noise models operating-system interference ("OS jitter"): the
+// timer ticks, kernel worker threads and daemons that steal cycles from
+// application cores. Strong partitioning of cores between Linux and the LWK
+// is, per the paper, "a key property for preventing OS jitter from Linux to
+// be propagated to the LWK"; this package supplies the per-kernel noise
+// profiles and the FWQ/FTQ microbenchmarks that measure them.
+//
+// Noise matters at scale because bulk-synchronous applications absorb the
+// *maximum* detour over all ranks in every collective round. A rare
+// millisecond-scale daemon that is invisible on one node is hit almost
+// surely somewhere among 131,072 ranks — the mechanism behind the paper's
+// MiniFE and Lulesh Linux cliffs.
+package noise
+
+import (
+	"math"
+
+	"mklite/internal/sim"
+)
+
+// Source is one recurring interference source on a set of cores.
+type Source struct {
+	Name string
+	// Period is the mean interval between occurrences.
+	Period sim.Duration
+	// Mean is the mean detour duration per occurrence.
+	Mean sim.Duration
+	// CV is the coefficient of variation of the detour duration
+	// (log-normal model).
+	CV float64
+	// TailProb is the per-occurrence probability of a heavy-tail event
+	// (e.g. a monitoring daemon waking up and doing real work).
+	TailProb float64
+	// TailScale and TailAlpha parameterise the Pareto tail duration.
+	TailScale sim.Duration
+	TailAlpha float64
+	// TailCap bounds a single tail detour (a daemon runs for a bounded
+	// time); 0 means uncapped.
+	TailCap sim.Duration
+	// CoreFilter restricts the source to specific cores; nil means all
+	// cores. Core 0 on the paper's systems carries extra services —
+	// "this is often due to CPU 0 running services and introducing
+	// noise".
+	CoreFilter func(core int) bool
+}
+
+// appliesTo reports whether the source fires on the given core.
+func (s *Source) appliesTo(core int) bool {
+	return s.CoreFilter == nil || s.CoreFilter(core)
+}
+
+// sampleCount draws the number of occurrences in a window (Poisson with
+// mean window/period).
+func (s *Source) sampleCount(rng *sim.RNG, window sim.Duration) int {
+	if s.Period <= 0 || window <= 0 {
+		return 0
+	}
+	lambda := float64(window) / float64(s.Period)
+	return poisson(rng, lambda)
+}
+
+// sampleDetour draws one detour duration.
+func (s *Source) sampleDetour(rng *sim.RNG) sim.Duration {
+	d := s.Mean
+	if s.CV > 0 && s.Mean > 0 {
+		// Log-normal with the requested mean and CV.
+		sigma2 := math.Log(1 + s.CV*s.CV)
+		mu := math.Log(s.Mean.Seconds()) - sigma2/2
+		d = sim.DurationOf(rng.LogNormal(mu, math.Sqrt(sigma2)))
+	}
+	if s.TailProb > 0 && rng.Bool(s.TailProb) {
+		tail := sim.DurationOf(rng.Pareto(s.TailScale.Seconds(), s.TailAlpha))
+		if s.TailCap > 0 && tail > s.TailCap {
+			tail = s.TailCap
+		}
+		d += tail
+	}
+	return d
+}
+
+// SampleWindow returns the total detour the source inflicts on the given
+// core during a window of the given length.
+func (s *Source) SampleWindow(rng *sim.RNG, core int, window sim.Duration) sim.Duration {
+	if !s.appliesTo(core) {
+		return 0
+	}
+	n := s.sampleCount(rng, window)
+	var total sim.Duration
+	for i := 0; i < n; i++ {
+		total += s.sampleDetour(rng)
+	}
+	return total
+}
+
+// ExpectedRate returns the source's mean stolen-time fraction (not counting
+// the tail component) on cores it applies to.
+func (s *Source) ExpectedRate() float64 {
+	if s.Period <= 0 {
+		return 0
+	}
+	return float64(s.Mean) / float64(s.Period)
+}
+
+// poisson draws a Poisson variate; Knuth's method for small means, normal
+// approximation above.
+func poisson(rng *sim.RNG, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Profile is a named set of noise sources — the interference signature of
+// one kernel configuration.
+type Profile struct {
+	Name    string
+	Sources []Source
+}
+
+// DetourIn samples the total interference on one core during a window.
+func (p *Profile) DetourIn(rng *sim.RNG, core int, window sim.Duration) sim.Duration {
+	var total sim.Duration
+	for i := range p.Sources {
+		total += p.Sources[i].SampleWindow(rng, core, window)
+	}
+	return total
+}
+
+// ExpectedRate returns the summed mean stolen-time fraction for a core.
+func (p *Profile) ExpectedRate(core int) float64 {
+	rate := 0.0
+	for i := range p.Sources {
+		if p.Sources[i].appliesTo(core) {
+			rate += p.Sources[i].ExpectedRate()
+		}
+	}
+	return rate
+}
+
+// --------------------------------------------------------------------------
+// Canonical profiles
+
+// LinuxTuned models the paper's production Linux environment: XPPSL with
+// nohz_full on application cores. The periodic tick is suppressed but not
+// gone (residual 1 Hz housekeeping), kworkers still run, and rare daemon
+// activity has a millisecond-scale tail. Core 0 carries system services.
+func LinuxTuned() *Profile {
+	return &Profile{
+		Name: "linux-tuned",
+		Sources: []Source{
+			{
+				Name:   "residual-tick",
+				Period: 1 * sim.Second / 10, // 10 Hz residual housekeeping
+				Mean:   4 * sim.Microsecond,
+				CV:     0.3,
+			},
+			{
+				Name:   "kworker",
+				Period: 100 * sim.Millisecond,
+				Mean:   25 * sim.Microsecond,
+				CV:     0.8,
+			},
+			{
+				Name:      "daemon",
+				Period:    1 * sim.Second,
+				Mean:      120 * sim.Microsecond,
+				CV:        1.0,
+				TailProb:  0.05,
+				TailScale: 800 * sim.Microsecond,
+				TailAlpha: 1.6,
+				TailCap:   5 * sim.Millisecond,
+			},
+			{
+				// IRQ steering, RPC daemons and housekeeping all
+				// pin to CPU 0; a rank scheduled there loses a
+				// few percent — why everyone reserves it.
+				Name:       "core0-services",
+				Period:     5 * sim.Millisecond,
+				Mean:       200 * sim.Microsecond,
+				CV:         1.0,
+				CoreFilter: func(core int) bool { return core == 0 },
+			},
+		},
+	}
+}
+
+// LinuxUntuned models a stock distribution kernel without nohz_full: a full
+// 250 Hz tick on every core plus everything in the tuned profile. Used by
+// the noise ablation.
+func LinuxUntuned() *Profile {
+	p := LinuxTuned()
+	p.Name = "linux-untuned"
+	p.Sources = append(p.Sources, Source{
+		Name:   "timer-tick",
+		Period: 4 * sim.Millisecond, // 250 Hz
+		Mean:   3 * sim.Microsecond,
+		CV:     0.2,
+	})
+	return p
+}
+
+// LWK returns the lightweight-kernel profile: no timer tick (cooperative,
+// non-preemptive scheduling), no daemons, only a vanishing residual from
+// rare inter-kernel housekeeping. McKernel's stricter isolation ("the Linux
+// kernel cannot interact with the McKernel scheduler") yields a marginally
+// cleaner profile than mOS, where stray Linux tasks must be actively chased
+// off LWK cores.
+func LWK(residual sim.Duration) *Profile {
+	return &Profile{
+		Name: "lwk",
+		Sources: []Source{
+			{
+				Name:   "ikc-housekeeping",
+				Period: 1 * sim.Second,
+				Mean:   residual,
+				CV:     0.5,
+			},
+		},
+	}
+}
+
+// McKernelProfile is the default McKernel noise signature.
+func McKernelProfile() *Profile {
+	p := LWK(500 * sim.Nanosecond)
+	p.Name = "mckernel"
+	return p
+}
+
+// MOSProfile is the default mOS noise signature: slightly above McKernel
+// because of the tighter Linux integration (stray kernel tasks occasionally
+// land on LWK cores before being evicted).
+func MOSProfile() *Profile {
+	p := LWK(500 * sim.Nanosecond)
+	p.Name = "mos"
+	p.Sources = append(p.Sources, Source{
+		Name:   "stray-linux-task",
+		Period: 5 * sim.Second,
+		Mean:   3 * sim.Microsecond,
+		CV:     1.0,
+	})
+	return p
+}

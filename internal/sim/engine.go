@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a unit of scheduled work: a function that executes at a point in
+// virtual time. Events with the same timestamp execute in scheduling order
+// (FIFO), which keeps runs deterministic.
+type Event struct {
+	at   Time
+	seq  uint64 // tiebreaker: insertion order
+	fn   func()
+	dead bool // cancelled events stay in the heap but are skipped
+	idx  int  // heap index, -1 once popped
+}
+
+// Cancel prevents the event from running. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.dead = true }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (ev *Event) Cancelled() bool { return ev.dead }
+
+// When returns the virtual time the event is scheduled for.
+func (ev *Event) When() Time { return ev.at }
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a sequential discrete-event simulator. It is not safe for
+// concurrent use; cooperative processes spawned with Spawn hand control back
+// and forth with the engine so that exactly one goroutine runs at a time.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *RNG
+
+	executed uint64 // number of events run, for diagnostics
+	running  bool
+	stopped  bool
+
+	procs   map[*Proc]struct{}
+	yieldCh chan struct{} // proc -> engine: "I have blocked or finished"
+}
+
+// NewEngine returns an engine with its clock at zero, drawing randomness
+// from the given seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:     NewRNG(seed),
+		procs:   make(map[*Proc]struct{}),
+		yieldCh: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's root random stream. Subsystems should Split it
+// rather than sharing it so that adding a consumer does not perturb others.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not yet been skipped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: virtual time is monotone by construction, so a past timestamp is
+// always a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative delays are clamped to zero.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock to its timestamp.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Never)
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline (if any events remain beyond it, they stay queued). It returns
+// the final virtual time.
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: Engine.Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		if e.events[0].at > deadline {
+			e.now = deadline
+			break
+		}
+		e.Step()
+	}
+	if deadline != Never && e.now < deadline && len(e.events) == 0 {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Drain cancels every pending event and kills every live process. The engine
+// remains usable afterwards; the clock does not move.
+func (e *Engine) Drain() {
+	for _, ev := range e.events {
+		ev.Cancel()
+	}
+	for p := range e.procs {
+		p.Kill()
+	}
+	e.events = e.events[:0]
+}

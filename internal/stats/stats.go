@@ -1,0 +1,182 @@
+// Package stats provides the small statistical and tabulation toolkit shared
+// by the experiment harness and the benchmark suite: medians with min/max
+// error bars (matching the paper's plotting methodology), scaling series
+// keyed by node count, and fixed-width text tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a set of repeated measurements the way the paper's plots
+// do: median with min/max error bars across (typically five) repetitions.
+type Summary struct {
+	N      int
+	Median float64
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+}
+
+// Summarize computes a Summary over xs. It panics on an empty input: a
+// summary of nothing is always a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	s.Median = Median(xs)
+	return s
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty sample")
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	// Average the two central elements without overflowing for values
+	// near the float64 range limits.
+	return tmp[n/2-1]/2 + tmp[n/2]/2
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if len(tmp) == 1 {
+		return tmp[0]
+	}
+	rank := p / 100 * float64(len(tmp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := rank - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
+// GeoMean returns the geometric mean of xs. All inputs must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: GeoMean of empty sample")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Ratio returns a/b, guarding against division by zero (returns +Inf/-Inf
+// with the sign of a, or NaN for 0/0, mirroring IEEE semantics explicitly).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return math.NaN()
+		}
+		return math.Inf(int(math.Copysign(1, a)))
+	}
+	return a / b
+}
+
+// Histogram bins samples into equal-width buckets for text rendering.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram bins xs into n equal-width buckets spanning [min(xs),
+// max(xs)]. It panics on empty input or non-positive n.
+func NewHistogram(xs []float64, n int) *Histogram {
+	if len(xs) == 0 {
+		panic("stats: NewHistogram of empty sample")
+	}
+	if n <= 0 {
+		panic("stats: NewHistogram with non-positive bucket count")
+	}
+	s := Summarize(xs)
+	h := &Histogram{Min: s.Min, Max: s.Max, Counts: make([]int, n), Total: len(xs)}
+	width := (s.Max - s.Min) / float64(n)
+	for _, x := range xs {
+		i := n - 1
+		if width > 0 {
+			i = int((x - s.Min) / width)
+			if i >= n {
+				i = n - 1
+			}
+			if i < 0 {
+				i = 0
+			}
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Render draws the histogram as rows of hash bars (log-ish scaling keeps
+// heavy-tailed distributions readable).
+func (h *Histogram) Render(unit string) string {
+	var b strings.Builder
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*width
+		bar := 0
+		if c > 0 && maxCount > 0 {
+			bar = 1 + int(39*math.Log1p(float64(c))/math.Log1p(float64(maxCount)))
+		}
+		fmt.Fprintf(&b, "%12.4g %-6s |%-40s %d\n", lo, unit, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

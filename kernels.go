@@ -1,0 +1,231 @@
+package mklite
+
+import (
+	"fmt"
+
+	"mklite/internal/hw"
+	"mklite/internal/kernel"
+	"mklite/internal/linuxos"
+	"mklite/internal/mckernel"
+	"mklite/internal/mos"
+	"mklite/internal/nodesim"
+	"mklite/internal/noise"
+	"mklite/internal/sim"
+	"mklite/internal/stats"
+)
+
+// bootForType builds a default-configured kernel model on a fresh KNL node.
+func bootForType(kt kernel.Type) (kernel.Kernel, error) {
+	node := hw.KNL7250SNC4()
+	switch kt {
+	case kernel.TypeLinux:
+		return linuxos.Boot(node, linuxos.DefaultConfig())
+	case kernel.TypeMcKernel:
+		k, _, err := mckernel.Deploy(node, mckernel.DefaultOptions())
+		return k, err
+	case kernel.TypeMOS:
+		return mos.Boot(node, mos.DefaultConfig())
+	}
+	return nil, fmt.Errorf("mklite: unknown kernel type %v", kt)
+}
+
+// KernelInfo summarises one kernel model's behaviour surface.
+type KernelInfo struct {
+	Name string
+	// NativeSyscalls / OffloadedSyscalls / UnsupportedSyscalls count the
+	// disposition table.
+	NativeSyscalls      int
+	OffloadedSyscalls   int
+	UnsupportedSyscalls int
+	// NoiseRate is the expected stolen-time fraction on an application
+	// core.
+	NoiseRate float64
+	// Preemptive reports tick-driven time sharing on application cores.
+	Preemptive bool
+	// OSCores and AppCores report the node partition.
+	OSCores, AppCores int
+}
+
+// Describe returns the behaviour summary of a kernel.
+func Describe(k Kernel) (KernelInfo, error) {
+	kt, err := k.internalType()
+	if err != nil {
+		return KernelInfo{}, err
+	}
+	kern, err := bootForType(kt)
+	if err != nil {
+		return KernelInfo{}, err
+	}
+	return KernelInfo{
+		Name:                kern.Name(),
+		NativeSyscalls:      kern.Table().Count(kernel.Native),
+		OffloadedSyscalls:   kern.Table().Count(kernel.Offloaded),
+		UnsupportedSyscalls: kern.Table().Count(kernel.Unsupported),
+		NoiseRate:           kern.Noise().ExpectedRate(1),
+		Preemptive:          kern.Sched().Preemptive,
+		OSCores:             len(kern.Partition().OSCores),
+		AppCores:            len(kern.Partition().AppCores),
+	}, nil
+}
+
+// NoiseSample holds an FWQ measurement of one kernel's application cores.
+type NoiseSample struct {
+	Kernel Kernel
+	// NoisePercent is the FWQ metric: mean slowdown over the minimum
+	// iteration, in percent.
+	NoisePercent float64
+	// MaxStretchPercent is the worst single iteration's slowdown.
+	MaxStretchPercent float64
+}
+
+// MeasureNoise runs the FWQ microbenchmark (1 ms quanta) on each kernel's
+// noise profile.
+func MeasureNoise(seed uint64, iterations int) []NoiseSample {
+	if iterations <= 0 {
+		iterations = 5000
+	}
+	rng := sim.NewRNG(seed)
+	profiles := []struct {
+		k Kernel
+		p *noise.Profile
+	}{
+		{Linux, noise.LinuxTuned()},
+		{McKernel, noise.McKernelProfile()},
+		{MOS, noise.MOSProfile()},
+	}
+	var out []NoiseSample
+	for _, e := range profiles {
+		r := noise.RunFWQ(rng.Split(), e.p, 1, sim.Millisecond, iterations)
+		out = append(out, NoiseSample{
+			Kernel:            e.k,
+			NoisePercent:      r.NoisePercent(),
+			MaxStretchPercent: r.MaxStretchPercent(),
+		})
+	}
+	return out
+}
+
+// NodeSimConfig configures a discrete-event single-node simulation (see
+// internal/nodesim): every rank is a process on its own core, noise
+// stretches compute, offloaded syscalls queue on the OS cores, and an
+// optional per-step barrier couples the ranks.
+type NodeSimConfig struct {
+	Ranks              int
+	Steps              int
+	ComputePerStepSecs float64
+	SyscallsPerStep    int
+	SyscallServiceSecs float64
+	Barrier            bool
+	Seed               uint64
+}
+
+// NodeSimResult is the node simulation outcome.
+type NodeSimResult struct {
+	Kernel               string
+	ElapsedSeconds       float64
+	AnalyticSeconds      float64
+	OffloadsServiced     int
+	MaxOffloadLatencySec float64
+	NoiseTotalSeconds    float64
+}
+
+// SimulateNode runs the discrete-event node model on the given kernel —
+// the event-by-event counterpart of the analytic cluster harness, exposing
+// offload queueing and barrier coupling directly.
+func SimulateNode(k Kernel, cfg NodeSimConfig) (NodeSimResult, error) {
+	kt, err := k.internalType()
+	if err != nil {
+		return NodeSimResult{}, err
+	}
+	kern, err := bootForType(kt)
+	if err != nil {
+		return NodeSimResult{}, err
+	}
+	nc := nodesim.Config{
+		Kern:            kern,
+		Ranks:           cfg.Ranks,
+		Steps:           cfg.Steps,
+		ComputePerStep:  sim.DurationOf(cfg.ComputePerStepSecs),
+		SyscallsPerStep: cfg.SyscallsPerStep,
+		SyscallService:  sim.DurationOf(cfg.SyscallServiceSecs),
+		Barrier:         cfg.Barrier,
+		Seed:            cfg.Seed,
+	}
+	res, err := nodesim.Run(nc)
+	if err != nil {
+		return NodeSimResult{}, err
+	}
+	return NodeSimResult{
+		Kernel:               kern.Name(),
+		ElapsedSeconds:       res.Elapsed.Seconds(),
+		AnalyticSeconds:      nodesim.AnalyticEstimate(nc).Seconds(),
+		OffloadsServiced:     res.OffloadsServiced,
+		MaxOffloadLatencySec: res.MaxOffloadLatency.Seconds(),
+		NoiseTotalSeconds:    res.NoiseTotal.Seconds(),
+	}, nil
+}
+
+// UtilizationSample holds an FTQ (fixed time quanta) measurement: the
+// fraction of each fixed window available to the application.
+type UtilizationSample struct {
+	Kernel Kernel
+	// MeanUtilization is the average fraction of the window spent on
+	// application work (1.0 = noiseless).
+	MeanUtilization float64
+	// WorstWindow is the minimum utilisation observed.
+	WorstWindow float64
+}
+
+// MeasureUtilization runs the FTQ microbenchmark (1 ms windows) on each
+// kernel's noise profile.
+func MeasureUtilization(seed uint64, iterations int) []UtilizationSample {
+	if iterations <= 0 {
+		iterations = 5000
+	}
+	rng := sim.NewRNG(seed)
+	profiles := []struct {
+		k Kernel
+		p *noise.Profile
+	}{
+		{Linux, noise.LinuxTuned()},
+		{McKernel, noise.McKernelProfile()},
+		{MOS, noise.MOSProfile()},
+	}
+	var out []UtilizationSample
+	for _, e := range profiles {
+		r := noise.RunFTQ(rng.Split(), e.p, 1, sim.Millisecond, iterations)
+		s := r.Summary()
+		out = append(out, UtilizationSample{
+			Kernel:          e.k,
+			MeanUtilization: s.Mean,
+			WorstWindow:     s.Min,
+		})
+	}
+	return out
+}
+
+// NoiseSamplesMicros returns the raw FWQ iteration times (microseconds)
+// for one kernel — the distribution behind MeasureNoise, for histogramming.
+func NoiseSamplesMicros(k Kernel, seed uint64, iterations int) ([]float64, error) {
+	if iterations <= 0 {
+		iterations = 5000
+	}
+	var p *noise.Profile
+	switch k {
+	case Linux:
+		p = noise.LinuxTuned()
+	case McKernel:
+		p = noise.McKernelProfile()
+	case MOS:
+		p = noise.MOSProfile()
+	default:
+		return nil, fmt.Errorf("mklite: unknown kernel %q", string(k))
+	}
+	r := noise.RunFWQ(sim.NewRNG(seed), p, 1, sim.Millisecond, iterations)
+	return r.Samples, nil
+}
+
+// RenderHistogram bins values into buckets and renders a text histogram.
+func RenderHistogram(values []float64, buckets int, unit string) string {
+	return stats.NewHistogram(values, buckets).Render(unit)
+}

@@ -1,0 +1,269 @@
+// Package mklite is a simulation framework for lightweight multi-kernel
+// operating systems, reproducing Gerofi et al., "Performance and
+// Scalability of Lightweight Multi-Kernel based Operating Systems"
+// (IEEE IPDPS 2018).
+//
+// The library models the paper's full stack: Intel Xeon Phi "Knights
+// Landing" nodes in SNC-4 flat mode (MCDRAM + DDR4), three kernel
+// configurations — production Linux, IHK/McKernel (proxy-process syscall
+// offloading) and mOS (thread-migration offloading) — an Omni-Path-like
+// fabric whose host driver needs kernel involvement, a hierarchical MPI
+// collective model, OS-noise generators, and phase-level workload models
+// of the paper's eight evaluation applications. On top of that, the
+// experiments API regenerates every table and figure of the evaluation
+// section.
+//
+// Quick start:
+//
+//	res, err := mklite.Run("minife", mklite.McKernel, 1024, 1, nil)
+//	fmt.Println(res.FOM, res.Unit)
+//
+// See the examples/ directory for complete programs.
+package mklite
+
+import (
+	"fmt"
+	"sort"
+
+	"mklite/internal/apps"
+	"mklite/internal/cluster"
+	"mklite/internal/fabric"
+	"mklite/internal/kernel"
+	"mklite/internal/mckernel"
+	"mklite/internal/mos"
+)
+
+// Kernel selects one of the three modelled operating systems.
+type Kernel string
+
+// The three kernels of the paper's evaluation.
+const (
+	Linux    Kernel = "linux"
+	McKernel Kernel = "mckernel"
+	MOS      Kernel = "mos"
+)
+
+// Kernels returns all kernels in the paper's comparison order.
+func Kernels() []Kernel { return []Kernel{Linux, McKernel, MOS} }
+
+// ParseKernel converts a string (as used on command lines) to a Kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch Kernel(s) {
+	case Linux, McKernel, MOS:
+		return Kernel(s), nil
+	}
+	return "", fmt.Errorf("mklite: unknown kernel %q (want linux, mckernel or mos)", s)
+}
+
+func (k Kernel) internalType() (kernel.Type, error) {
+	switch k {
+	case Linux:
+		return kernel.TypeLinux, nil
+	case McKernel:
+		return kernel.TypeMcKernel, nil
+	case MOS:
+		return kernel.TypeMOS, nil
+	}
+	return 0, fmt.Errorf("mklite: unknown kernel %q", string(k))
+}
+
+// Options carries per-run tunables.
+type Options struct {
+	// ForceDDROnly pins all application memory to DDR4 (the Table I
+	// and CCS-QCD-DDR configurations).
+	ForceDDROnly bool
+	// MpolShmPremap enables McKernel's --mpol-shm-premap.
+	MpolShmPremap bool
+	// DisableSchedYield enables McKernel's --disable-sched-yield.
+	DisableSchedYield bool
+	// HPCHeap toggles the LWK heap optimisations (nil = kernel
+	// default: enabled).
+	HPCHeap *bool
+	// UserSpaceFabric swaps the Omni-Path model for a fabric driven
+	// entirely from user space (no syscalls on the message path).
+	UserSpaceFabric bool
+	// Quadrant runs the nodes in quadrant mode instead of SNC-4
+	// (one DDR4 + one MCDRAM domain; numactl -p works, the SNC-4
+	// mesh advantage is lost).
+	Quadrant bool
+	// Trace records a per-timestep breakdown into Result.StepTrace.
+	Trace bool
+}
+
+// StepTrace is one timestep's attribution, in seconds.
+type StepTrace struct {
+	Compute float64
+	Memory  float64
+	Heap    float64
+	Syscall float64
+	Comm    float64
+	Noise   float64
+}
+
+// AppInfo describes one of the modelled applications.
+type AppInfo struct {
+	Name           string
+	Desc           string
+	Unit           string
+	RanksPerNode   int
+	ThreadsPerRank int
+	Weak           bool
+	NodeCounts     []int
+}
+
+// Apps lists the eight evaluation applications.
+func Apps() []AppInfo {
+	var out []AppInfo
+	for _, s := range apps.All() {
+		out = append(out, AppInfo{
+			Name:           s.Name,
+			Desc:           s.Desc,
+			Unit:           s.Unit,
+			RanksPerNode:   s.RanksPerNode,
+			ThreadsPerRank: s.ThreadsPerRank,
+			Weak:           s.Weak,
+			NodeCounts:     append([]int(nil), s.NodeCounts...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Result is one run's outcome.
+type Result struct {
+	App    string
+	Kernel string
+	Nodes  int
+	Ranks  int
+
+	// ElapsedSeconds is the timed (solve) phase duration.
+	ElapsedSeconds float64
+	// FOM is the application's figure of merit (a rate in Unit).
+	FOM  float64
+	Unit string
+
+	// Breakdown attributes the elapsed time to mechanisms, in seconds:
+	// keys are "compute", "memory", "heap", "syscall", "comm", "noise",
+	// "shm-setup".
+	Breakdown map[string]float64
+
+	// Heap accounting of rank 0 (queries/grows/shrinks/peak bytes/
+	// cumulative growth/faults).
+	HeapQueries, HeapGrows, HeapShrinks int64
+	HeapPeakBytes, HeapGrownBytes       int64
+	HeapFaults                          int64
+
+	// MCDRAMBytes is the node's MCDRAM residency after setup;
+	// DemandRanks counts ranks that ended up demand paged.
+	MCDRAMBytes int64
+	DemandRanks int
+
+	// StepTrace holds the per-timestep attribution when Options.Trace
+	// was set.
+	StepTrace []StepTrace
+}
+
+func toJob(appName string, k Kernel, nodes int, seed uint64, opts *Options) (cluster.Job, error) {
+	app, err := apps.Get(appName)
+	if err != nil {
+		return cluster.Job{}, err
+	}
+	kt, err := k.internalType()
+	if err != nil {
+		return cluster.Job{}, err
+	}
+	job := cluster.Job{App: app, Kernel: kt, Nodes: nodes, Seed: seed}
+	if opts == nil {
+		return job, nil
+	}
+	job.ForceDDROnly = opts.ForceDDROnly
+	job.Quadrant = opts.Quadrant
+	job.Trace = opts.Trace
+	if opts.UserSpaceFabric {
+		job.Fabric = fabric.UserSpaceFabric()
+	}
+	mckOpts := mckernel.DefaultOptions()
+	mckOpts.MpolShmPremap = opts.MpolShmPremap
+	mckOpts.DisableSchedYield = opts.DisableSchedYield
+	if opts.HPCHeap != nil {
+		mckOpts.HPCBrk = *opts.HPCHeap
+	}
+	job.McK = &mckOpts
+	if opts.HPCHeap != nil {
+		mosCfg := mos.DefaultConfig()
+		mosCfg.HeapManagement = *opts.HPCHeap
+		job.MOS = &mosCfg
+	}
+	return job, nil
+}
+
+// Run executes one application at one node count on one kernel. The seed
+// makes the run reproducible; repeated measurements should vary it.
+func Run(appName string, k Kernel, nodes int, seed uint64, opts *Options) (Result, error) {
+	job, err := toJob(appName, k, nodes, seed, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := cluster.Run(job)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		App:            res.App,
+		Kernel:         res.Kernel,
+		Nodes:          res.Nodes,
+		Ranks:          res.Ranks,
+		ElapsedSeconds: res.Elapsed.Seconds(),
+		FOM:            res.FOM,
+		Unit:           res.Unit,
+		Breakdown: map[string]float64{
+			"compute":   res.Breakdown.Compute.Seconds(),
+			"memory":    res.Breakdown.Memory.Seconds(),
+			"heap":      res.Breakdown.Heap.Seconds(),
+			"syscall":   res.Breakdown.Syscall.Seconds(),
+			"comm":      res.Breakdown.Comm.Seconds(),
+			"noise":     res.Breakdown.Noise.Seconds(),
+			"shm-setup": res.Breakdown.SetupShm.Seconds(),
+		},
+		HeapQueries:    res.HeapStats.Queries,
+		HeapGrows:      res.HeapStats.Grows,
+		HeapShrinks:    res.HeapStats.Shrinks,
+		HeapPeakBytes:  res.HeapStats.Peak,
+		HeapGrownBytes: res.HeapStats.GrownBytes,
+		HeapFaults:     res.HeapStats.Faults,
+		MCDRAMBytes:    res.MCDRAMBytes,
+		DemandRanks:    res.DemandRanks,
+		StepTrace:      stepTrace(res.Steps),
+	}, nil
+}
+
+func stepTrace(steps []cluster.StepRecord) []StepTrace {
+	if steps == nil {
+		return nil
+	}
+	out := make([]StepTrace, len(steps))
+	for i, s := range steps {
+		out[i] = StepTrace{
+			Compute: s.Compute.Seconds(),
+			Memory:  s.Memory.Seconds(),
+			Heap:    s.Heap.Seconds(),
+			Syscall: s.Syscall.Seconds(),
+			Comm:    s.Comm.Seconds(),
+			Noise:   s.Noise.Seconds(),
+		}
+	}
+	return out
+}
+
+// Compare runs the application on all three kernels with the same seed.
+func Compare(appName string, nodes int, seed uint64, opts *Options) ([]Result, error) {
+	var out []Result
+	for _, k := range Kernels() {
+		r, err := Run(appName, k, nodes, seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
