@@ -1,0 +1,87 @@
+// Command mklint is mklite's determinism multichecker: it runs the custom
+// analyzer suite from internal/analysis over the named packages and exits
+// non-zero if any diagnostic survives. It is the static half of the
+// determinism gate; `go test -race ./...` and the seed-replay test in
+// determinism_test.go are the runtime half.
+//
+// Usage:
+//
+//	go run ./cmd/mklint ./...        # analyze the whole module
+//	go run ./cmd/mklint -vet ./...   # also run go vet on the same patterns
+//	go run ./cmd/mklint -list        # print the analyzer suite and exit
+//
+// Diagnostics are one per line, in the familiar file:line:col form:
+//
+//	internal/ltp/ltp.go:106:2: maprange: iteration over map specialCounts ...
+//
+// A finding can be suppressed with //mklint:ignore <analyzer> <reason> on
+// the offending line or the line above; see docs/LINTING.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"mklite/internal/analysis"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list the analyzers and exit")
+		vet  = flag.Bool("vet", false, "also run `go vet` on the same patterns")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mklint [-list] [-vet] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "mklint enforces mklite's determinism contract; see docs/LINTING.md.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+
+	failed := len(diags) > 0
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mklint:", err)
+	os.Exit(2)
+}

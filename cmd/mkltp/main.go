@@ -11,7 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"maps"
 	"os"
+	"slices"
 	"strings"
 
 	"mklite"
@@ -48,8 +50,8 @@ func main() {
 				continue
 			}
 			fmt.Printf("\n%s failure causes:\n", rep.Kernel)
-			for cause, n := range rep.ByCause {
-				fmt.Printf("  %-28s %d\n", cause, n)
+			for _, cause := range slices.Sorted(maps.Keys(rep.ByCause)) {
+				fmt.Printf("  %-28s %d\n", cause, rep.ByCause[cause])
 			}
 		}
 		fmt.Println(strings.TrimSpace(`

@@ -12,8 +12,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"maps"
 	"os"
-	"sort"
+	"slices"
 
 	"mklite"
 )
@@ -114,12 +115,7 @@ func main() {
 	fmt.Printf("  FOM:     %.6g %s\n", r.FOM, r.Unit)
 	fmt.Printf("  elapsed: %.6g s (timed phase)\n", r.ElapsedSeconds)
 	fmt.Println("  breakdown:")
-	keys := make([]string, 0, len(r.Breakdown))
-	for k := range r.Breakdown {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range slices.Sorted(maps.Keys(r.Breakdown)) {
 		fmt.Printf("    %-10s %10.6f s (%5.1f%%)\n", k, r.Breakdown[k],
 			r.Breakdown[k]/r.ElapsedSeconds*100)
 	}

@@ -1,0 +1,230 @@
+// Package analysis implements mklint, mklite's custom determinism-analyzer
+// suite. The simulation core promises that a run is a pure function of
+// (model, seed): no wall-clock reads, no global random state, no bare
+// goroutines in model code, no observable map-iteration order. Package
+// analysis enforces that contract mechanically with a small set of static
+// analyzers modelled on golang.org/x/tools/go/analysis, but built purely on
+// the standard library (go/ast, go/types, and `go list -export` data) so the
+// module stays dependency-free.
+//
+// The four analyzers are:
+//
+//   - nowalltime:   forbids time.Now, time.Since, time.Sleep and friends —
+//     virtual time must come from sim.Engine.Now / sim.Proc.Sleep.
+//   - noglobalrand: forbids math/rand and math/rand/v2 package-level
+//     functions and rand.New(rand.NewSource(...)) — randomness must come
+//     from sim.RNG streams derived from the run seed.
+//   - maprange:     flags `range` over a map whose body has order-dependent
+//     effects (slice appends, float accumulation, output writes, event
+//     scheduling) — iteration order would leak into results.
+//   - nogoroutine:  forbids bare `go` statements in internal/sim,
+//     internal/kernel and internal/cluster — model concurrency must use the
+//     cooperative sim.Proc abstraction.
+//
+// A diagnostic can be suppressed with a directive comment on the same line
+// or the line directly above the offending statement:
+//
+//	//mklint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported and
+// suppresses nothing. See docs/LINTING.md for the full contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite could migrate to the
+// real framework if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mklint:ignore directives.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// AppliesTo reports whether the analyzer should run on the package
+	// with the given import path. A nil AppliesTo means every package.
+	AppliesTo func(importPath string) bool
+
+	// Run performs the check on one package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with the parsed, type-checked source of a
+// single package and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	ignores *ignoreIndex
+	sink    func(Diagnostic)
+}
+
+// A Diagnostic is one finding, located by position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a well-formed //mklint:ignore
+// directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppresses(p.Analyzer.Name, position) {
+		return
+	}
+	p.sink(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoWallTime,
+		NoGlobalRand,
+		MapRange,
+		NoGoroutine,
+	}
+}
+
+// Run applies every applicable analyzer to every package and returns the
+// surviving diagnostics sorted by position. Malformed suppression
+// directives are reported as diagnostics of the pseudo-analyzer "mklint".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		diags = append(diags, ignores.malformed...)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				ignores:   ignores,
+				sink:      func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ignorePrefix is the directive marker. Like all Go directives it must
+// start the comment with no space after "//".
+const ignorePrefix = "//mklint:ignore"
+
+// An ignoreDirective is one parsed //mklint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int
+}
+
+// An ignoreIndex maps (file, line) to the directives that cover it.
+type ignoreIndex struct {
+	// byLine maps filename -> line -> directives covering that line.
+	byLine    map[string]map[int][]ignoreDirective
+	malformed []Diagnostic
+}
+
+// buildIgnoreIndex scans every comment in the package for //mklint:ignore
+// directives. A directive covers its own source line and the next line, so
+// both trailing and standalone placements work:
+//
+//	go p.run(fn) //mklint:ignore nogoroutine engine-managed goroutine
+//
+//	//mklint:ignore maprange order folded into sorted output below
+//	for k := range m {
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{byLine: map[string]map[int][]ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "mklint",
+						Message: fmt.Sprintf(
+							"malformed %s directive: want %q; the reason is mandatory and the directive is ignored",
+							ignorePrefix, ignorePrefix+" <analyzer> <reason>"),
+					})
+					continue
+				}
+				d := ignoreDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					line:     pos.Line,
+				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]ignoreDirective{}
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether a well-formed directive for analyzer (or the
+// wildcard "all") covers the position.
+func (idx *ignoreIndex) suppresses(analyzer string, pos token.Position) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, d := range lines[pos.Line] {
+		if d.analyzer == analyzer || d.analyzer == "all" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"mklite/internal/analysis"
+	"mklite/internal/analysis/analysistest"
+)
+
+func TestNoWallTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NoWallTime, "nowalltime")
+}
+
+func TestNoGlobalRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NoGlobalRand, "noglobalrand")
+}
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MapRange, "maprange")
+}
+
+func TestNoGoroutine(t *testing.T) {
+	// The analyzer is path-scoped to the simulation-model packages, so
+	// the fixture impersonates a package under internal/sim.
+	analysistest.RunWithPath(t, analysistest.TestData(), analysis.NoGoroutine,
+		"nogoroutine", "mklite/internal/sim/fixture")
+}
+
+func TestNoGoroutineScope(t *testing.T) {
+	applies := analysis.NoGoroutine.AppliesTo
+	for path, want := range map[string]bool{
+		"mklite/internal/sim":     true,
+		"mklite/internal/kernel":  true,
+		"mklite/internal/cluster": true,
+		"mklite/internal/noise":   false,
+		"mklite/cmd/mkrun":        false,
+		"mklite":                  false,
+	} {
+		if got := applies(path); got != want {
+			t.Errorf("NoGoroutine.AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestIgnoreDirectiveSuppresses: a well-formed //mklint:ignore with a
+// reason silences the named analyzer in both standalone and trailing
+// placement — the fixture expects zero diagnostics.
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MapRange, "ignore")
+}
+
+// TestIgnoreDirectiveRequiresReason: a directive without a reason is
+// reported as malformed and does not suppress the underlying diagnostic.
+func TestIgnoreDirectiveRequiresReason(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MapRange, "ignorebad")
+}
+
+// TestSelfClean: the analyzer suite must hold its own packages (and the
+// whole module) to the contract it enforces. This is the same gate CI runs
+// via `go run ./cmd/mklint ./...`, kept here so plain `go test` catches
+// regressions too.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("module load returned no packages")
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	for _, must := range []string{"mklite", "mklite/internal/sim", "mklite/cmd/mklint"} {
+		if !strings.Contains(" "+strings.Join(paths, " ")+" ", " "+must+" ") {
+			t.Errorf("module load missed package %s (got %d packages)", must, len(pkgs))
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysistest exercises mklint analyzers against fixture packages
+// under testdata/src, in the style of
+// golang.org/x/tools/go/analysis/analysistest: fixture sources carry
+// expectation comments and the harness verifies that the analyzer's
+// diagnostics and the expectations agree exactly, in both directions.
+//
+// An expectation comment names one or more backquoted regular expressions
+// that must each match a distinct diagnostic reported on the comment's
+// line:
+//
+//	_ = time.Now() // want `use of time\.Now is forbidden`
+//
+// A line-offset variant anchors the expectation to a nearby line, which is
+// needed when the diagnostic's line cannot carry a comment of its own —
+// e.g. the "malformed directive" diagnostic that is reported on the line
+// of a //mklint:ignore comment:
+//
+//	//mklint:ignore maprange
+//	// want(-1) `malformed //mklint:ignore directive`
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mklite/internal/analysis"
+)
+
+// TestData returns the canonical testdata directory of the calling
+// package's source tree.
+func TestData() string {
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}
+
+// Run loads the fixture package in testdata/src/<dir>, applies the
+// analyzer, and checks the // want expectations. The fixture's import path
+// is dir itself.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	RunWithPath(t, testdata, a, dir, dir)
+}
+
+// RunWithPath is Run with an explicit import path presented to the
+// analyzer, so fixtures can impersonate packages that path-scoped
+// analyzers (nogoroutine) apply to.
+func RunWithPath(t *testing.T, testdata string, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkgDir := filepath.Join(testdata, "src", dir)
+	pkg, err := analysis.LoadDir(pkgDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgDir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", pkgDir, pkg.TypeErrors)
+	}
+	if a.AppliesTo != nil && !a.AppliesTo(importPath) {
+		t.Fatalf("analyzer %s does not apply to import path %q; use RunWithPath with a matching path", a.Name, importPath)
+	}
+
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgDir, err)
+	}
+	wants := collectWants(t, pkg)
+	checkDiagnostics(t, a.Name, diags, wants)
+}
+
+// A want is one expectation: a regexp that must match a diagnostic on a
+// specific line of a specific file.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRx splits a want comment into its optional line offset and the
+// backquoted regexp list.
+var wantRx = regexp.MustCompile(`// want(\(([+-]\d+)\))? (.*)$`)
+
+// collectWants extracts every expectation from the fixture's comments.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return wants
+}
+
+func parseWant(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*want {
+	t.Helper()
+	m := wantRx.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	line := pos.Line
+	if m[2] != "" {
+		off, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatalf("%s: bad want offset %q", pos, m[2])
+		}
+		line += off
+	}
+	var wants []*want
+	rest := m[3]
+	for {
+		start := strings.IndexByte(rest, '`')
+		if start < 0 {
+			break
+		}
+		end := strings.IndexByte(rest[start+1:], '`')
+		if end < 0 {
+			t.Fatalf("%s: unterminated backquoted regexp in want comment", pos)
+		}
+		raw := rest[start+1 : start+1+end]
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+		}
+		wants = append(wants, &want{file: pos.Filename, line: line, re: re, raw: raw})
+		rest = rest[start+1+end+1:]
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s: want comment carries no backquoted regexps", pos)
+	}
+	return wants
+}
+
+// checkDiagnostics verifies the exact two-way correspondence between
+// diagnostics and expectations.
+func checkDiagnostics(t *testing.T, analyzer string, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, analyzer, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want satisfied by the diagnostic.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	full := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) || w.re.MatchString(full) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

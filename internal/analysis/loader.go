@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors collects type-checker errors. Analysis proceeds on a
+	// best-effort basis when the package has errors, mirroring go vet.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Incomplete bool
+}
+
+// goList runs the go command's package loader and decodes its JSON stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportCatalog resolves import paths to compiled export-data files. It is
+// seeded from one `go list -deps -export` sweep and extended lazily when an
+// analyzed file imports a package outside that dependency closure (fixture
+// sources importing stdlib packages the module itself does not use).
+type exportCatalog struct {
+	dir   string
+	files map[string]string
+}
+
+func newExportCatalog(dir string) *exportCatalog {
+	return &exportCatalog{dir: dir, files: map[string]string{}}
+}
+
+// add records export files from a `go list -export` result set.
+func (c *exportCatalog) add(pkgs []listedPackage) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			c.files[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// resolve returns the export file for path, compiling it on demand.
+func (c *exportCatalog) resolve(path string) (string, error) {
+	if f, ok := c.files[path]; ok {
+		return f, nil
+	}
+	pkgs, err := goList(c.dir, "-deps", "-export", "-json=ImportPath,Export", path)
+	if err != nil {
+		return "", err
+	}
+	c.add(pkgs)
+	if f, ok := c.files[path]; ok {
+		return f, nil
+	}
+	return "", fmt.Errorf("no export data for %q", path)
+}
+
+// newImporter builds a types.Importer that reads gc export data through the
+// catalog. Export data is self-describing, so no source type-checking of
+// dependencies is needed and loading works fully offline.
+func newImporter(fset *token.FileSet, cat *exportCatalog) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := cat.resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+}
+
+// newTypesInfo allocates the fact tables the analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load resolves the given go-list patterns (e.g. "./...") relative to dir
+// and returns every matched non-standard package parsed and type-checked.
+// Test files are not loaded; the determinism contract is enforced on the
+// shipped sources, while tests are covered by `go test -race`.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One sweep gives both the target packages and export data for the
+	// whole dependency closure.
+	listArgs := append([]string{
+		"-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Standard,Export,Incomplete",
+	}, patterns...)
+	listed, err := goList(dir, listArgs...)
+	if err != nil {
+		return nil, err
+	}
+	cat := newExportCatalog(dir)
+	cat.add(listed)
+
+	// -deps lists dependencies too; keep only packages matched by the
+	// patterns themselves.
+	matchArgs := append([]string{"-json=ImportPath"}, patterns...)
+	matched, err := goList(dir, matchArgs...)
+	if err != nil {
+		return nil, err
+	}
+	wanted := map[string]bool{}
+	for _, p := range matched {
+		wanted[p.ImportPath] = true
+	}
+
+	fset := token.NewFileSet()
+	imp := newImporter(fset, cat)
+	var out []*Package
+	for _, lp := range listed {
+		if !wanted[lp.ImportPath] || lp.Standard {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files of a single directory as the
+// package importPath, without consulting go list for the directory itself.
+// The analysistest harness uses it to load fixtures from testdata, where
+// the go tool refuses to look.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, newExportCatalog(dir))
+	return checkPackage(fset, imp, importPath, dir, files)
+}
+
+// checkPackage parses the named files and runs the type checker, tolerating
+// type errors so analyzers still see a best-effort package.
+func checkPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		TypesInfo:  newTypesInfo(),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, files, pkg.TypesInfo)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Files = files
+	return pkg, nil
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPackages are the import paths whose package-level functions draw from
+// process-global (or otherwise seed-uncontrolled) generators.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// NoGlobalRand forbids math/rand in favour of sim.RNG. The global source is
+// process-wide mutable state: it seeds differently across runs (rand/v2) or
+// is shared across goroutines behind a lock (rand), and either way the
+// stream cannot be split per rank. sim.RNG is seeded from the run seed and
+// forked with Split, keeping every rank's stream reproducible.
+//
+// The analyzer flags every reference to a package-level function of
+// math/rand or math/rand/v2 — which covers both direct draws (rand.Intn)
+// and local-generator construction (rand.New(rand.NewSource(seed))), since
+// New and NewSource are themselves package-level functions.
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc: "forbid math/rand and math/rand/v2 package-level functions " +
+		"(including rand.New(rand.NewSource(...))); use sim.RNG streams " +
+		"derived from the run seed",
+	Run: runNoGlobalRand,
+}
+
+func runNoGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || !randPackages[obj.Pkg().Path()] {
+				return true
+			}
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods on an explicitly constructed *rand.Rand are
+				// reached only via rand.New, which is already flagged
+				// at the construction site.
+				return true
+			}
+			pass.Reportf(sel.Pos(), "use of %s.%s is forbidden: randomness must come from sim.RNG streams derived from the run seed (determinism contract, see docs/LINTING.md)",
+				obj.Pkg().Path(), obj.Name())
+			return true
+		})
+	}
+	return nil
+}

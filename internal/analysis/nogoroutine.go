@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simOnlyPackages are the model packages where raw goroutines are banned.
+// The engine promises that exactly one goroutine — the engine loop or a
+// single cooperative process — runs at any moment; a bare `go` statement
+// hands scheduling to the Go runtime, whose interleaving differs run to
+// run and races with simulation state. Model concurrency must go through
+// sim.Engine.Spawn / sim.Proc, whose handoff protocol keeps execution
+// sequential. (The one legitimate `go` in the tree is inside sim.Proc
+// itself, carrying an explicit //mklint:ignore with the invariant that
+// justifies it.)
+var simOnlyPackages = []string{
+	"internal/sim",
+	"internal/kernel",
+	"internal/cluster",
+}
+
+// NoGoroutine forbids bare go statements in the simulation-model packages.
+var NoGoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid bare go statements in internal/sim, internal/kernel and " +
+		"internal/cluster; model concurrency must use the cooperative " +
+		"sim.Proc abstraction",
+	AppliesTo: func(importPath string) bool {
+		for _, root := range simOnlyPackages {
+			// Match the package itself and any subpackage of it,
+			// with root anchored at a path-segment boundary.
+			if importPath == root ||
+				strings.HasSuffix(importPath, "/"+root) ||
+				strings.Contains(importPath, "/"+root+"/") ||
+				strings.HasPrefix(importPath, root+"/") {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runNoGoroutine,
+}
+
+func runNoGoroutine(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "bare go statement in simulation-model package %s: the engine requires exactly one runnable goroutine; use sim.Engine.Spawn and the cooperative sim.Proc API (determinism contract, see docs/LINTING.md)",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenTimeFuncs are the package-level functions of the time package
+// that observe the wall clock, block on it, or arm timers against it. Pure
+// data such as time.Duration and the unit constants remain allowed: they
+// are inert values and occasionally useful for config parsing.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "virtual time must come from sim.Engine.Now",
+	"Since":     "durations must be computed from sim.Time values",
+	"Until":     "durations must be computed from sim.Time values",
+	"Sleep":     "blocking must use sim.Proc.Sleep on virtual time",
+	"After":     "timers must be sim.Engine.After events",
+	"AfterFunc": "timers must be sim.Engine.After events",
+	"NewTimer":  "timers must be sim.Engine.After events",
+	"NewTicker": "periodic work must be rescheduled sim.Engine events",
+	"Tick":      "periodic work must be rescheduled sim.Engine events",
+}
+
+// NoWallTime forbids wall-clock access in simulation code. A simulated run
+// must be a pure function of (model, seed); any time.Now or timer smuggles
+// host scheduling noise into results — precisely the OS-noise effect the
+// harness exists to model deliberately, not absorb accidentally.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc: "forbid time.Now/Since/Sleep and timer constructors in simulation " +
+		"packages; use the sim package's virtual clock instead",
+	Run: runNoWallTime,
+}
+
+func runNoWallTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			hint, forbidden := forbiddenTimeFuncs[obj.Name()]
+			if !forbidden {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "use of time.%s is forbidden in simulation code: %s (determinism contract, see docs/LINTING.md)",
+				obj.Name(), hint)
+			return true
+		})
+	}
+	return nil
+}

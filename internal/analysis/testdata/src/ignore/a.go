@@ -1,0 +1,21 @@
+// Fixture proving //mklint:ignore suppression: both standalone (covers the
+// next line) and trailing (covers its own line) placements silence the
+// diagnostic, so this package must produce none.
+package ignore
+
+func standalone(m map[string]int) []string {
+	var out []string
+	//mklint:ignore maprange caller sorts the result before any use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func trailing(m map[string]int) []string {
+	var out []string
+	for k := range m { //mklint:ignore maprange caller sorts the result before any use
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Fixture proving the reason string is mandatory: a bare
+// //mklint:ignore <analyzer> directive is reported as malformed and
+// suppresses nothing, so the underlying diagnostic still fires.
+package ignorebad
+
+func missingReason(m map[string]int) []string {
+	var out []string
+	//mklint:ignore maprange
+	// want(-1) `malformed //mklint:ignore directive`
+	for k := range m { // want `appends to out, which outlives the loop`
+		out = append(out, k)
+	}
+	return out
+}

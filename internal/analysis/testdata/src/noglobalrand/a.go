@@ -1,0 +1,23 @@
+// Fixture for the noglobalrand analyzer: package-level draws and local
+// generator construction are both forbidden, for math/rand and
+// math/rand/v2 alike.
+package noglobalrand
+
+import (
+	"math/rand"
+
+	v2 "math/rand/v2"
+)
+
+func bad() {
+	_ = rand.Intn(10)                 // want `use of math/rand\.Intn is forbidden`
+	_ = rand.Float64()                // want `use of math/rand\.Float64 is forbidden`
+	rand.Seed(42)                     // want `use of math/rand\.Seed is forbidden`
+	r := rand.New(rand.NewSource(42)) // want `use of math/rand\.New is forbidden` `use of math/rand\.NewSource is forbidden`
+	// Methods on an explicit generator are not re-flagged; the rand.New
+	// construction site above already is.
+	_ = r.Int63()
+	_ = v2.IntN(4)    // want `use of math/rand/v2\.IntN is forbidden`
+	_ = v2.Float64()  // want `use of math/rand/v2\.Float64 is forbidden`
+	_ = v2.Uint64N(9) // want `use of math/rand/v2\.Uint64N is forbidden`
+}

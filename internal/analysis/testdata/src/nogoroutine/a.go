@@ -1,0 +1,14 @@
+// Fixture for the nogoroutine analyzer. The harness presents this package
+// under an internal/sim import path so the path-scoped analyzer applies.
+package nogoroutine
+
+func bad(ch chan int) {
+	go func() { ch <- 1 }() // want `bare go statement in simulation-model package`
+	go send(ch)             // want `bare go statement in simulation-model package`
+}
+
+func send(ch chan int) { ch <- 2 }
+
+func good(ch chan int) {
+	send(ch)
+}

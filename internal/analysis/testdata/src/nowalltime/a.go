@@ -1,0 +1,22 @@
+// Fixture for the nowalltime analyzer: wall-clock reads and timers are
+// forbidden; inert time values (Duration, unit constants) are allowed.
+package nowalltime
+
+import "time"
+
+func bad() {
+	_ = time.Now()               // want `use of time\.Now is forbidden`
+	time.Sleep(time.Millisecond) // want `use of time\.Sleep is forbidden`
+	_ = time.Since(time.Time{})  // want `use of time\.Since is forbidden`
+	_ = time.Until(time.Time{})  // want `use of time\.Until is forbidden`
+	_ = time.NewTimer(0)         // want `use of time\.NewTimer is forbidden`
+	_ = time.NewTicker(1)        // want `use of time\.NewTicker is forbidden`
+	<-time.After(5)              // want `use of time\.After is forbidden`
+	time.AfterFunc(1, func() {}) // want `use of time\.AfterFunc is forbidden`
+}
+
+func good() time.Duration {
+	// Duration arithmetic and unit constants are pure data: fine.
+	d := 3 * time.Millisecond
+	return d + time.Second
+}

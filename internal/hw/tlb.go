@@ -1,5 +1,10 @@
 package hw
 
+import (
+	"maps"
+	"slices"
+)
+
 // TLBSpec models the translation lookaside buffer's reach per page size.
 // The paper attributes part of the LWK advantage to "aggressive" large-page
 // use; this model turns page-size choices made by the memory managers into a
@@ -80,7 +85,10 @@ func (t TLBSpec) EffectiveBandwidth(dev MemDeviceSpec, workingSet int64, frac ma
 	idealNsPerLine := lineBytes / (dev.StreamBandwidth * float64(GiB)) * 1e9
 	total := 0.0
 	weight := 0.0
-	for p, f := range frac {
+	// Sorted iteration: the float accumulation below must not depend on
+	// map order or the derated bandwidth would vary between runs.
+	for _, p := range slices.Sorted(maps.Keys(frac)) {
+		f := frac[p]
 		if f <= 0 {
 			continue
 		}

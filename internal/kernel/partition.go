@@ -2,7 +2,8 @@ package kernel
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 
 	"mklite/internal/hw"
 )
@@ -70,12 +71,7 @@ func (p Partition) AppDomains() []int {
 	for _, c := range p.AppCores {
 		set[p.Node.Cores[c].Domain] = true
 	}
-	out := make([]int, 0, len(set))
-	for d := range set {
-		out = append(out, d)
-	}
-	sort.Ints(out)
-	return out
+	return slices.Sorted(maps.Keys(set))
 }
 
 // NearestOSCore returns the OS core whose NUMA domain is closest to the

@@ -2,6 +2,8 @@ package linuxos
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
 
@@ -157,12 +159,7 @@ func (p *ProcFS) Has(path string) bool {
 
 // List returns all paths in sorted order.
 func (p *ProcFS) List() []string {
-	out := make([]string, 0, len(p.files))
-	for k := range p.files {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return slices.Sorted(maps.Keys(p.files))
 }
 
 // NumaMaps renders a /proc/<pid>/numa_maps-style view of an address space:
@@ -174,12 +171,7 @@ func NumaMaps(as *mem.AddrSpace) string {
 	for _, v := range as.VMAs() {
 		fmt.Fprintf(&b, "%012x %s %s", v.Start, policyName(v), v.Kind)
 		doms := v.DomainsOf()
-		ids := make([]int, 0, len(doms))
-		for d := range doms {
-			ids = append(ids, d)
-		}
-		sort.Ints(ids)
-		for _, d := range ids {
+		for _, d := range slices.Sorted(maps.Keys(doms)) {
 			fmt.Fprintf(&b, " N%d=%d", d, doms[d]/4096)
 		}
 		fmt.Fprintf(&b, " kernelpagesize_kB=%d\n", largestPageKB(v))

@@ -1,6 +1,9 @@
 package ltp
 
 import (
+	"maps"
+	"slices"
+
 	"mklite/internal/hw"
 	"mklite/internal/kernel"
 	"mklite/internal/mem"
@@ -29,13 +32,9 @@ func Executable(id string) (ExecFunc, bool) {
 	return f, ok
 }
 
-// ExecutableCaseIDs lists the cases with executable semantics.
+// ExecutableCaseIDs lists the cases with executable semantics, sorted.
 func ExecutableCaseIDs() []string {
-	out := make([]string, 0, len(execCases))
-	for id := range execCases {
-		out = append(out, id)
-	}
-	return out
+	return slices.Sorted(maps.Keys(execCases))
 }
 
 // RunExecutable executes one case id against a fresh process on the given

@@ -17,6 +17,8 @@ package ltp
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"mklite/internal/kernel"
@@ -101,14 +103,16 @@ func Catalogue() []Case {
 	// Per-syscall counts: specials are pinned; fork-heavy syscalls get
 	// at least their fork quota plus a margin; everything else shares
 	// the remainder evenly.
+	// Iterate sorted keys so the schedule derivation never depends on
+	// map order, keeping the emitted catalogue stable across runs.
 	counts := map[kernel.Sysno]int{}
 	assigned := 0
-	for s, c := range specialCounts {
-		counts[s] = c
-		assigned += c
+	for _, s := range slices.Sorted(maps.Keys(specialCounts)) {
+		counts[s] = specialCounts[s]
+		assigned += specialCounts[s]
 	}
-	for s, c := range forkPlan {
-		counts[s] = c + 2 // the quota plus two fork-free variants
+	for _, s := range slices.Sorted(maps.Keys(forkPlan)) {
+		counts[s] = forkPlan[s] + 2 // the quota plus two fork-free variants
 		assigned += counts[s]
 	}
 	var rest []kernel.Sysno

@@ -30,7 +30,10 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan procMsg)}
 	e.procs[p] = struct{}{}
 	e.After(0, func() {
-		go p.run(fn)
+		// The engine's dispatch/yield handshake guarantees this is the
+		// only runnable goroutine until the process blocks or exits,
+		// so it cannot race with simulation state.
+		go p.run(fn) //mklint:ignore nogoroutine Proc is the cooperative abstraction itself; the handshake serialises execution
 		// Hand control to the process body and wait for it to block
 		// or finish.
 		p.dispatch()

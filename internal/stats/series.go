@@ -2,6 +2,8 @@ package stats
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -114,11 +116,7 @@ func (f *Figure) Render() string {
 			nodeSet[p.Nodes] = true
 		}
 	}
-	nodes := make([]int, 0, len(nodeSet))
-	for n := range nodeSet {
-		nodes = append(nodes, n)
-	}
-	sort.Ints(nodes)
+	nodes := slices.Sorted(maps.Keys(nodeSet))
 
 	tb := NewTable(append([]string{"nodes"}, seriesHeaders(f.Series)...)...)
 	for _, n := range nodes {
