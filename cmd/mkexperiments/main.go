@@ -5,6 +5,7 @@
 //	mkexperiments                 # everything, full sweeps, 5 reps
 //	mkexperiments -quick          # three node counts per app
 //	mkexperiments -only fig5b     # a single artifact
+//	mkexperiments -workers 1      # sequential fan-out (same output, slower)
 //
 // Artifacts: fig4, fig5a, fig5b, fig6a, fig6b, table1, ltp, brktrace,
 // proxyopts, ccsqcd-ddr, corespec, quadrant, ablations.
@@ -21,14 +22,15 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "restrict sweeps to three node counts per app")
-		reps  = flag.Int("reps", 5, "repetitions per data point")
-		seed  = flag.Uint64("seed", 1, "base seed")
-		only  = flag.String("only", "", "comma-separated artifact subset")
+		quick   = flag.Bool("quick", false, "restrict sweeps to three node counts per app")
+		reps    = flag.Int("reps", 5, "repetitions per data point")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		only    = flag.String("only", "", "comma-separated artifact subset")
+		workers = flag.Int("workers", 0, "parallel fan-out width over independent runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any width")
 	)
 	flag.Parse()
 
-	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick}
+	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

@@ -54,6 +54,73 @@ func TestSeedReplayDeterminism(t *testing.T) {
 	}
 }
 
+// parWidths are the fan-out widths the equivalence tests sweep: pure
+// sequential (1, zero goroutines), minimal contention (2), and the
+// production default (0 = GOMAXPROCS). The determinism contract requires
+// the digest to be a function of (model, seed) only — never of the width.
+var parWidths = []int{1, 2, 0}
+
+// figure4Digest runs the quick-mode Figure 4 subset (all eight
+// applications, three node counts each) at the given par fan-out width and
+// hashes every rendered figure.
+func figure4Digest(t *testing.T, workers int) string {
+	t.Helper()
+	h := sha256.New()
+	figs, err := experiments.Figure4(experiments.Config{
+		Reps: 2, Seed: 1, Quick: true, Workers: workers,
+	})
+	if err != nil {
+		t.Fatalf("Figure4(workers=%d): %v", workers, err)
+	}
+	for _, fig := range figs {
+		fmt.Fprint(h, fig.Render())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// ltpDigest runs the three-kernel LTP conformance sweep at the given width
+// and hashes the reports plus the rendered table.
+func ltpDigest(t *testing.T, workers int) string {
+	t.Helper()
+	h := sha256.New()
+	reports, table, err := experiments.LTPResultsWorkers(workers)
+	if err != nil {
+		t.Fatalf("LTPResultsWorkers(%d): %v", workers, err)
+	}
+	enc := json.NewEncoder(h)
+	for _, rep := range reports {
+		if err := enc.Encode(rep); err != nil {
+			t.Fatalf("encoding report: %v", err)
+		}
+	}
+	fmt.Fprint(h, table.Render())
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestParallelMatchesSequentialFigure4: fanning the Figure 4 grid out
+// through par.Map must reproduce the sequential bytes exactly — worker
+// scheduling must never leak into results. Run under -race this also
+// exercises the pool for real data races.
+func TestParallelMatchesSequentialFigure4(t *testing.T) {
+	want := figure4Digest(t, parWidths[0])
+	for _, w := range parWidths[1:] {
+		if got := figure4Digest(t, w); got != want {
+			t.Fatalf("Figure 4 digest differs between width %d and width 1:\n  width 1: %s\n  width %d: %s\npar fan-out has leaked scheduling into results", w, want, w, got)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialLTP: the same equivalence for the LTP
+// conformance sweep, whose three kernels boot inside worker closures.
+func TestParallelMatchesSequentialLTP(t *testing.T) {
+	want := ltpDigest(t, parWidths[0])
+	for _, w := range parWidths[1:] {
+		if got := ltpDigest(t, w); got != want {
+			t.Fatalf("LTP digest differs between width %d and width 1:\n  width 1: %s\n  width %d: %s", w, want, w, got)
+		}
+	}
+}
+
 func TestDifferentSeedsDiverge(t *testing.T) {
 	// Guards the digest against vacuity: if hashing ignored the actual
 	// results (or the model ignored the seed), every digest would

@@ -14,14 +14,19 @@ import (
 type ExperimentConfig struct {
 	// Reps per data point (paper: 5; plotted as median with min/max).
 	Reps int
-	// Seed is the base seed for repetition i = Seed + i*7919.
+	// Seed is the base seed; repetition i runs on the independent
+	// SplitMix64 stream seed derived from (Seed, i).
 	Seed uint64
 	// Quick restricts sweeps to three node counts per application.
 	Quick bool
+	// Workers bounds the parallel fan-out over independent runs
+	// (repetitions, grid cells, applications): 0 uses GOMAXPROCS,
+	// 1 forces sequential execution. Output is identical either way.
+	Workers int
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
-	return experiments.Config{Reps: c.Reps, Seed: c.Seed, Quick: c.Quick}
+	return experiments.Config{Reps: c.Reps, Seed: c.Seed, Quick: c.Quick, Workers: c.Workers}
 }
 
 // Point is one measurement of a scaling series.

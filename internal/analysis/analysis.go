@@ -7,7 +7,7 @@
 // the standard library (go/ast, go/types, and `go list -export` data) so the
 // module stays dependency-free.
 //
-// The four analyzers are:
+// The five analyzers are:
 //
 //   - nowalltime:   forbids time.Now, time.Since, time.Sleep and friends —
 //     virtual time must come from sim.Engine.Now / sim.Proc.Sleep.
@@ -17,9 +17,12 @@
 //   - maprange:     flags `range` over a map whose body has order-dependent
 //     effects (slice appends, float accumulation, output writes, event
 //     scheduling) — iteration order would leak into results.
-//   - nogoroutine:  forbids bare `go` statements in internal/sim,
-//     internal/kernel and internal/cluster — model concurrency must use the
-//     cooperative sim.Proc abstraction.
+//   - nogoroutine:  forbids bare `go` statements everywhere except
+//     internal/par, the sanctioned worker-pool fan-out; model concurrency
+//     must use the cooperative sim.Proc abstraction.
+//   - parshare:     forbids capturing a *sim.RNG (or sim.Engine/sim.Proc)
+//     across a par.Map closure — per-job streams must be derived inside
+//     each job from (seed, index) with sim.StreamSeed.
 //
 // A diagnostic can be suppressed with a directive comment on the same line
 // or the line directly above the offending statement:
@@ -104,6 +107,7 @@ func All() []*Analyzer {
 		NoGlobalRand,
 		MapRange,
 		NoGoroutine,
+		ParShare,
 	}
 }
 

@@ -21,26 +21,34 @@ func TestMapRange(t *testing.T) {
 }
 
 func TestNoGoroutine(t *testing.T) {
-	// The analyzer is path-scoped to the simulation-model packages, so
-	// the fixture impersonates a package under internal/sim.
+	// The fixture impersonates a package under internal/sim so the
+	// simulation-model wording of the diagnostic is exercised.
 	analysistest.RunWithPath(t, analysistest.TestData(), analysis.NoGoroutine,
 		"nogoroutine", "mklite/internal/sim/fixture")
 }
 
 func TestNoGoroutineScope(t *testing.T) {
+	// Module-wide ban with exactly one exemption: internal/par, the
+	// sanctioned worker-pool fan-out.
 	applies := analysis.NoGoroutine.AppliesTo
 	for path, want := range map[string]bool{
-		"mklite/internal/sim":     true,
-		"mklite/internal/kernel":  true,
-		"mklite/internal/cluster": true,
-		"mklite/internal/noise":   false,
-		"mklite/cmd/mkrun":        false,
-		"mklite":                  false,
+		"mklite/internal/sim":         true,
+		"mklite/internal/kernel":      true,
+		"mklite/internal/cluster":     true,
+		"mklite/internal/noise":       true,
+		"mklite/internal/experiments": true,
+		"mklite/cmd/mkrun":            true,
+		"mklite":                      true,
+		"mklite/internal/par":         false,
 	} {
 		if got := applies(path); got != want {
 			t.Errorf("NoGoroutine.AppliesTo(%q) = %v, want %v", path, got, want)
 		}
 	}
+}
+
+func TestParShare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ParShare, "parshare")
 }
 
 // TestIgnoreDirectiveSuppresses: a well-formed //mklint:ignore with a

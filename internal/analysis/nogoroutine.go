@@ -5,52 +5,75 @@ import (
 	"strings"
 )
 
-// simOnlyPackages are the model packages where raw goroutines are banned.
-// The engine promises that exactly one goroutine — the engine loop or a
-// single cooperative process — runs at any moment; a bare `go` statement
-// hands scheduling to the Go runtime, whose interleaving differs run to
-// run and races with simulation state. Model concurrency must go through
-// sim.Engine.Spawn / sim.Proc, whose handoff protocol keeps execution
-// sequential. (The one legitimate `go` in the tree is inside sim.Proc
-// itself, carrying an explicit //mklint:ignore with the invariant that
-// justifies it.)
+// goroutineAllowedPackages are the packages exempt from the bare-goroutine
+// ban. internal/par is the module's one sanctioned concurrency primitive:
+// its bounded worker pool collects results in index order, confines panics,
+// and is covered by the seed-isolation rules the parshare analyzer
+// enforces at every call site. Everything else — model code, experiment
+// generators, commands — must fan out through it. (The one other
+// legitimate `go` in the tree is inside sim.Proc, the cooperative
+// abstraction itself, carrying an explicit //mklint:ignore with the
+// invariant that justifies it.)
+var goroutineAllowedPackages = []string{
+	"internal/par",
+}
+
+// simOnlyPackages are the simulation-model packages, where the diagnostic
+// points at the cooperative sim.Proc API instead of par: inside the model
+// the engine promises exactly one runnable goroutine at any moment, so not
+// even par's index-ordered pool is admissible.
 var simOnlyPackages = []string{
 	"internal/sim",
 	"internal/kernel",
 	"internal/cluster",
 }
 
-// NoGoroutine forbids bare go statements in the simulation-model packages.
+// pathMatches reports whether importPath is root or lies under it, with
+// root anchored at a path-segment boundary.
+func pathMatches(importPath, root string) bool {
+	return importPath == root ||
+		strings.HasSuffix(importPath, "/"+root) ||
+		strings.Contains(importPath, "/"+root+"/") ||
+		strings.HasPrefix(importPath, root+"/")
+}
+
+func pathInAny(importPath string, roots []string) bool {
+	for _, root := range roots {
+		if pathMatches(importPath, root) {
+			return true
+		}
+	}
+	return false
+}
+
+// NoGoroutine forbids bare go statements everywhere in the module except
+// internal/par, the sanctioned worker-pool fan-out.
 var NoGoroutine = &Analyzer{
 	Name: "nogoroutine",
-	Doc: "forbid bare go statements in internal/sim, internal/kernel and " +
-		"internal/cluster; model concurrency must use the cooperative " +
-		"sim.Proc abstraction",
+	Doc: "forbid bare go statements outside internal/par; fan independent " +
+		"jobs out through par.Map, and inside the simulation model use the " +
+		"cooperative sim.Proc abstraction",
 	AppliesTo: func(importPath string) bool {
-		for _, root := range simOnlyPackages {
-			// Match the package itself and any subpackage of it,
-			// with root anchored at a path-segment boundary.
-			if importPath == root ||
-				strings.HasSuffix(importPath, "/"+root) ||
-				strings.Contains(importPath, "/"+root+"/") ||
-				strings.HasPrefix(importPath, root+"/") {
-				return true
-			}
-		}
-		return false
+		return !pathInAny(importPath, goroutineAllowedPackages)
 	},
 	Run: runNoGoroutine,
 }
 
 func runNoGoroutine(pass *Pass) error {
+	inModel := pathInAny(pass.Pkg.Path(), simOnlyPackages)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
 			if !ok {
 				return true
 			}
-			pass.Reportf(gs.Pos(), "bare go statement in simulation-model package %s: the engine requires exactly one runnable goroutine; use sim.Engine.Spawn and the cooperative sim.Proc API (determinism contract, see docs/LINTING.md)",
-				pass.Pkg.Path())
+			if inModel {
+				pass.Reportf(gs.Pos(), "bare go statement in simulation-model package %s: the engine requires exactly one runnable goroutine; use sim.Engine.Spawn and the cooperative sim.Proc API (determinism contract, see docs/LINTING.md)",
+					pass.Pkg.Path())
+			} else {
+				pass.Reportf(gs.Pos(), "bare go statement in %s: internal/par is the module's one sanctioned goroutine spawner; fan independent jobs out through par.Map / par.MapErr (determinism contract, see docs/LINTING.md)",
+					pass.Pkg.Path())
+			}
 			return true
 		})
 	}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// parFuncs are the fan-out entry points of internal/par whose closure
+// arguments the analyzer inspects.
+var parFuncs = map[string]bool{
+	"Map":         true,
+	"MapErr":      true,
+	"MapWidth":    true,
+	"MapWidthErr": true,
+}
+
+// sharedSimTypes are the internal/sim types that are per-job state by
+// contract: a generator shared across par jobs races, and — worse for the
+// reproducibility gate — its draw order becomes a function of worker
+// scheduling, so identically seeded runs diverge silently. Engine and Proc
+// carry the same hazard: the whole simulation state hangs off them.
+var sharedSimTypes = map[string]bool{
+	"RNG":    true,
+	"Engine": true,
+	"Proc":   true,
+}
+
+// ParShare rejects par.Map closures that capture a *sim.RNG (or sim.Engine
+// / sim.Proc) from an enclosing scope. Each job must derive its own stream
+// inside the closure — sim.NewRNG(sim.StreamSeed(seed, i)) or an
+// index-addressed element of rng.SplitN — never share the caller's.
+var ParShare = &Analyzer{
+	Name: "parshare",
+	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc) across a " +
+		"par.Map closure; derive per-job streams inside the job from " +
+		"(seed, index) with sim.StreamSeed",
+	Run: runParShare,
+}
+
+func runParShare(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				checkClosure(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isParCall reports whether call invokes one of internal/par's fan-out
+// functions.
+func isParCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !parFuncs[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return pathMatches(fn.Pkg().Path(), "internal/par")
+}
+
+// checkClosure reports every use inside lit of a shared-sim-typed variable
+// declared outside it.
+func checkClosure(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Declared inside the closure (parameter or local) is fine;
+		// only captures of enclosing state are per-job leaks.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		if name := sharedSimTypeName(v.Type()); name != "" {
+			pass.Reportf(id.Pos(), "par closure captures %s %q from an enclosing scope: per-job state must be derived inside the job — sim.NewRNG(sim.StreamSeed(seed, uint64(i))) — or worker scheduling leaks into the draw order (determinism contract, see docs/LINTING.md)",
+				name, id.Name)
+		}
+		return true
+	})
+}
+
+// sharedSimTypeName returns the display name ("*sim.RNG") if t is — or
+// points to — one of the guarded internal/sim types, else "".
+func sharedSimTypeName(t types.Type) string {
+	prefix := ""
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+		prefix = "*"
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathMatches(obj.Pkg().Path(), "internal/sim") {
+		return ""
+	}
+	if !sharedSimTypes[obj.Name()] {
+		return ""
+	}
+	return prefix + "sim." + obj.Name()
+}

@@ -250,3 +250,62 @@ func TestTraceRecordsSteps(t *testing.T) {
 		t.Fatal("untraced run recorded steps")
 	}
 }
+
+// TestHeapOpsPerStepCalledOnce is the regression test for the hot-loop bug:
+// HeapOpsPerStep depends only on the node count, yet it used to be invoked
+// inside the per-rank loop of every timestep (ranks x timesteps calls
+// rebuilding an identical trace slice). The counting stub pins the contract
+// to exactly one lookup per run.
+func TestHeapOpsPerStepCalledOnce(t *testing.T) {
+	app := *apps.Lulesh()
+	calls := 0
+	inner := app.HeapOpsPerStep
+	app.HeapOpsPerStep = func(nodes int) []int64 {
+		calls++
+		return inner(nodes)
+	}
+	r := run(t, Job{App: &app, Kernel: kernel.TypeLinux, Nodes: 2, Seed: 5})
+	if calls != 1 {
+		t.Fatalf("HeapOpsPerStep called %d times over %d timesteps x %d ranks, want 1",
+			calls, app.Timesteps, r.Ranks)
+	}
+	if r.Breakdown.Heap <= 0 {
+		t.Fatal("hoisted trace produced no heap time")
+	}
+}
+
+// TestHoistedTraceMatchesReference: the hoist must not change results — a
+// spec whose trace function is pure gives identical output either way, so
+// compare against the unmodified spec on the same seed.
+func TestHoistedTraceMatchesReference(t *testing.T) {
+	a := run(t, Job{App: apps.Lulesh(), Kernel: kernel.TypeMOS, Nodes: 4, Seed: 9})
+	b := run(t, Job{App: apps.Lulesh(), Kernel: kernel.TypeMOS, Nodes: 4, Seed: 9})
+	if a.Elapsed != b.Elapsed || a.Breakdown != b.Breakdown {
+		t.Fatalf("hoisted trace not reproducible: %+v vs %+v", a.Breakdown, b.Breakdown)
+	}
+}
+
+// TestHaloDetourComposesWithCollectives is the regression test for the
+// dropped-halo bug: on a step with both a collective and a halo exchange,
+// the old switch sampled only the collective's job-wide detour and silently
+// discarded the halo neighbourhood's. With the fix, adding a halo exchange
+// to an app whose collective fires every step must strictly increase the
+// absorbed noise on the same seed (before the fix the draws were identical,
+// so the noise breakdown did not move at all).
+func TestHaloDetourComposesWithCollectives(t *testing.T) {
+	mk := func(withHalo bool) *apps.Spec {
+		app := *apps.MiniFE() // collectives run every step (CG solver)
+		if !withHalo {
+			app.Halo = nil
+		} else if app.Halo == nil {
+			t.Fatal("fixture app lost its halo exchange")
+		}
+		return &app
+	}
+	with := run(t, Job{App: mk(true), Kernel: kernel.TypeLinux, Nodes: 32, Seed: 21})
+	without := run(t, Job{App: mk(false), Kernel: kernel.TypeLinux, Nodes: 32, Seed: 21})
+	if with.Breakdown.Noise <= without.Breakdown.Noise {
+		t.Fatalf("halo detour still dropped on collective steps: noise with halo %v <= without %v",
+			with.Breakdown.Noise, without.Breakdown.Noise)
+	}
+}

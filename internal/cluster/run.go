@@ -38,7 +38,13 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		wire  sim.Duration
 		msgs  float64
 	}
+	// Collectives that run every step contribute identically each
+	// iteration; fold them into static per-step totals so the step loop
+	// only re-evaluates the periodic ones.
 	var colls []collRun
+	var everyStepMsgs float64
+	var everyStepWire sim.Duration
+	everyStepColls := 0
 	if app.Colls != nil {
 		for _, c := range app.Colls(j.Nodes) {
 			every := c.Every
@@ -55,6 +61,12 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 				res = comm.Alltoall(c.Bytes)
 			default:
 				res = comm.Allreduce(c.Bytes)
+			}
+			if every == 1 {
+				everyStepMsgs += res.Messages
+				everyStepWire += res.Time
+				everyStepColls++
+				continue
 			}
 			colls = append(colls, collRun{every: every, wire: res.Time, msgs: res.Messages})
 		}
@@ -89,15 +101,24 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 	bd.SetupShm = ns.shmFault
 	elapsed := ns.shmFault
 
+	// The brk trace depends only on the node count: one lookup serves
+	// every rank of every step. (Calling it inside the per-rank loop was
+	// the harness's own hot-path bug — ranks x timesteps rebuilds of an
+	// identical slice.)
+	var heapOps []int64
+	if app.HeapOpsPerStep != nil {
+		heapOps = app.HeapOpsPerStep(j.Nodes)
+	}
+
 	for step := 0; step < app.Timesteps; step++ {
 		// Heap activity: every rank replays the per-step brk trace on
 		// its own heap engine; the slowest rank gates the node.
 		var heapMax sim.Duration
-		if app.HeapOpsPerStep != nil {
+		if heapOps != nil {
 			for _, rs := range ns.ranks {
 				var cost sim.Duration
 				var work mem.Work
-				for _, delta := range app.HeapOpsPerStep(j.Nodes) {
+				for _, delta := range heapOps {
 					cost += brkTime
 					if _, w, err := rs.heap.Sbrk(delta); err == nil {
 						work.Accumulate(w)
@@ -117,9 +138,9 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		}
 
 		// Per-step message-driven device syscalls and spin waiting.
-		msgs := haloMsgs
-		collWire := sim.Duration(0)
-		collsDue := 0
+		msgs := haloMsgs + everyStepMsgs
+		collWire := everyStepWire
+		collsDue := everyStepColls
 		for _, c := range colls {
 			if step%c.every == 0 {
 				msgs += c.msgs
@@ -140,21 +161,27 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		}
 		base := cpuTime + memMax + heapMax + sysTime
 
-		// Interference: global collectives absorb the worst detour
-		// of the whole job; halo exchanges only a neighbourhood's.
+		// Interference: global collectives absorb the worst detour of
+		// the whole job; halo exchanges only a neighbourhood's. A step
+		// that has both synchronises twice — the halo at the stencil
+		// boundary and the collective at the reduction — and each sync
+		// point absorbs its own worst detour, so the detours compose
+		// additively (they are maxima over disjoint waiting windows of
+		// the same step, not alternatives; previously the halo share
+		// was silently dropped whenever a collective was due).
 		var detour sim.Duration
-		switch {
-		case collsDue > 0:
-			for i := 0; i < collsDue; i++ {
-				detour += noise.MaxDetour(rng, prof, totalRanks, base)
-			}
-		case haloWire > 0:
+		for i := 0; i < collsDue; i++ {
+			detour += noise.MaxDetour(rng, prof, totalRanks, base)
+		}
+		if haloWire > 0 {
 			nb := haloNeighborhood
 			if nb > totalRanks {
 				nb = totalRanks
 			}
-			detour = noise.MaxDetour(rng, prof, nb, base)
-		default:
+			detour += noise.MaxDetour(rng, prof, nb, base)
+		}
+		if collsDue == 0 && haloWire == 0 {
+			// No synchronisation: only the rank's own detour counts.
 			detour = prof.DetourIn(rng, 1, base)
 		}
 		if core0Hosted {

@@ -13,6 +13,8 @@ import (
 	"mklite/internal/apps"
 	"mklite/internal/cluster"
 	"mklite/internal/kernel"
+	"mklite/internal/par"
+	"mklite/internal/sim"
 	"mklite/internal/stats"
 )
 
@@ -21,11 +23,17 @@ type Config struct {
 	// Reps is the number of repetitions per point; the paper runs
 	// most applications five times and plots median with min/max.
 	Reps int
-	// Seed is the base seed; repetition i uses Seed+i.
+	// Seed is the base seed; repetition i runs with the independent
+	// stream seed sim.StreamSeed(Seed, i).
 	Seed uint64
 	// Quick restricts sweeps to three node counts per application so
 	// the full suite stays test-budget friendly.
 	Quick bool
+	// Workers bounds the experiment fan-out's worker pool (par.Map):
+	// 0 selects GOMAXPROCS, 1 forces sequential execution. Results are
+	// byte-identical at any width — every job derives its own RNG
+	// stream from (Seed, index), enforced by determinism_test.go.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's methodology.
@@ -51,44 +59,52 @@ func (c Config) nodeCounts(app *apps.Spec) []int {
 	return []int{all[0], all[len(all)/2], all[len(all)-1]}
 }
 
-// measure runs one configuration Reps times and summarises the FOMs.
+// measure runs one configuration Reps times — in parallel, each repetition
+// on its own stream seed — and summarises the FOMs.
+//
+// Rep seeds are SplitMix64 stream splits of (Seed, rep), not Seed+rep:
+// additive derivation made two experiments with consecutive base seeds
+// share all but one rep seed, so their "independent" repetitions were
+// almost entirely correlated.
 func measure(cfg Config, job cluster.Job) (stats.Summary, error) {
-	foms := make([]float64, 0, cfg.Reps)
-	for rep := 0; rep < cfg.Reps; rep++ {
-		job.Seed = cfg.Seed + uint64(rep)*7919
-		res, err := cluster.Run(job)
+	foms, err := par.MapWidthErr(cfg.Workers, cfg.Reps, func(rep int) (float64, error) {
+		j := job // per-job copy; the closure shares nothing mutable
+		j.Seed = sim.StreamSeed(cfg.Seed, uint64(rep))
+		res, err := cluster.Run(j)
 		if err != nil {
-			return stats.Summary{}, err
+			return 0, err
 		}
-		foms = append(foms, res.FOM)
+		return res.FOM, nil
+	})
+	if err != nil {
+		return stats.Summary{}, err
 	}
 	return stats.Summarize(foms), nil
 }
 
-// sweep builds one kernel's scaling series for an application.
-func sweep(cfg Config, app *apps.Spec, kt kernel.Type, mutate func(*cluster.Job)) (*stats.Series, error) {
-	s := &stats.Series{Name: kt.String(), Unit: app.Unit}
-	for _, nodes := range cfg.nodeCounts(app) {
-		job := cluster.Job{App: app, Kernel: kt, Nodes: nodes}
-		if mutate != nil {
-			mutate(&job)
-		}
-		sum, err := measure(cfg, job)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %v at %d nodes: %w", app.Name, kt, nodes, err)
-		}
-		s.Add(nodes, sum)
-	}
-	return s, nil
-}
-
-// appFigure builds the three-kernel figure for one application.
+// appFigure builds the three-kernel figure for one application by fanning
+// the whole (kernel x node-count) grid out through one par.Map: every cell
+// is an independent job, so the grid parallelises without any coordination
+// and the series are assembled from the index-ordered results.
 func appFigure(cfg Config, app *apps.Spec, id string) (*stats.Figure, error) {
-	fig := &stats.Figure{ID: id, Title: fmt.Sprintf("%s (%s)", app.Name, app.Desc)}
-	for _, kt := range []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS} {
-		s, err := sweep(cfg, app, kt, nil)
+	kts := []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS}
+	nodes := cfg.nodeCounts(app)
+	sums, err := par.MapWidthErr(cfg.Workers, len(kts)*len(nodes), func(i int) (stats.Summary, error) {
+		kt, n := kts[i/len(nodes)], nodes[i%len(nodes)]
+		sum, err := measure(cfg, cluster.Job{App: app, Kernel: kt, Nodes: n})
 		if err != nil {
-			return nil, err
+			return stats.Summary{}, fmt.Errorf("experiments: %s on %v at %d nodes: %w", app.Name, kt, n, err)
+		}
+		return sum, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := &stats.Figure{ID: id, Title: fmt.Sprintf("%s (%s)", app.Name, app.Desc)}
+	for ki, kt := range kts {
+		s := &stats.Series{Name: kt.String(), Unit: app.Unit}
+		for ni, n := range nodes {
+			s.Add(n, sums[ki*len(nodes)+ni])
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -117,15 +133,10 @@ func RelativeFigure(fig *stats.Figure) *stats.Figure {
 // apply RelativeFigure for the paper's normalised presentation.
 func Figure4(cfg Config) ([]*stats.Figure, error) {
 	cfg = cfg.normalize()
-	var out []*stats.Figure
-	for _, app := range apps.All() {
-		fig, err := appFigure(cfg, app, "fig4-"+app.Name)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, fig)
-	}
-	return out, nil
+	all := apps.All()
+	return par.MapWidthErr(cfg.Workers, len(all), func(i int) (*stats.Figure, error) {
+		return appFigure(cfg, all[i], "fig4-"+all[i].Name)
+	})
 }
 
 // Figure4Medians summarises Figure 4 the way the paper's abstract does:

@@ -12,6 +12,7 @@ import (
 	"mklite/internal/mckernel"
 	"mklite/internal/mem"
 	"mklite/internal/mos"
+	"mklite/internal/par"
 	"mklite/internal/stats"
 )
 
@@ -43,20 +44,19 @@ func TableI(cfg Config) ([]TableIRow, *stats.Table, error) {
 		{"mOS, heap management disabled", cluster.Job{App: app, Kernel: kernel.TypeMOS, Nodes: 1, ForceDDROnly: true, MOS: &heapOff}},
 		{"mOS, regular heap management", cluster.Job{App: app, Kernel: kernel.TypeMOS, Nodes: 1, ForceDDROnly: true}},
 	}
+	sums, err := par.MapWidthErr(cfg.Workers, len(variants), func(i int) (stats.Summary, error) {
+		return measure(cfg, variants[i].job)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	linux := sums[0].Median
 	var rows []TableIRow
-	var linux float64
 	for i, v := range variants {
-		sum, err := measure(cfg, v.job)
-		if err != nil {
-			return nil, nil, err
-		}
-		if i == 0 {
-			linux = sum.Median
-		}
 		rows = append(rows, TableIRow{
 			Config:  v.name,
-			ZonesPS: sum.Median,
-			Percent: sum.Median / linux * 100,
+			ZonesPS: sums[i].Median,
+			Percent: sums[i].Median / linux * 100,
 		})
 	}
 	tb := stats.NewTable("configuration", "zones/s", "relative")
@@ -69,24 +69,35 @@ func TableI(cfg Config) ([]TableIRow, *stats.Table, error) {
 // LTPResults runs the conformance suite against all three kernels and
 // renders the section III-D comparison.
 func LTPResults() ([]ltp.Report, *stats.Table, error) {
-	node := hw.KNL7250SNC4()
-	lin, err := linuxos.Boot(node, linuxos.DefaultConfig())
+	return LTPResultsWorkers(0)
+}
+
+// LTPResultsWorkers is LTPResults with an explicit fan-out width (0 =
+// GOMAXPROCS, 1 = sequential); each kernel boots and runs the 3,328-case
+// catalogue on its own worker. The equivalence tests sweep the width.
+func LTPResultsWorkers(workers int) ([]ltp.Report, *stats.Table, error) {
+	kts := []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS}
+	reports, err := par.MapWidthErr(workers, len(kts), func(i int) (ltp.Report, error) {
+		var k kernel.Kernel
+		var err error
+		switch kts[i] {
+		case kernel.TypeLinux:
+			k, err = linuxos.Boot(hw.KNL7250SNC4(), linuxos.DefaultConfig())
+		case kernel.TypeMcKernel:
+			k, _, err = mckernel.Deploy(hw.KNL7250SNC4(), mckernel.DefaultOptions())
+		default:
+			k, err = mos.Boot(hw.KNL7250SNC4(), mos.DefaultConfig())
+		}
+		if err != nil {
+			return ltp.Report{}, err
+		}
+		return ltp.Run(k), nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	mck, _, err := mckernel.Deploy(hw.KNL7250SNC4(), mckernel.DefaultOptions())
-	if err != nil {
-		return nil, nil, err
-	}
-	mosk, err := mos.Boot(hw.KNL7250SNC4(), mos.DefaultConfig())
-	if err != nil {
-		return nil, nil, err
-	}
-	var reports []ltp.Report
 	tb := stats.NewTable("kernel", "total", "passed", "failed", "causes")
-	for _, k := range []kernel.Kernel{lin, mck, mosk} {
-		rep := ltp.Run(k)
-		reports = append(reports, rep)
+	for _, rep := range reports {
 		tb.AddRow(rep.Kernel,
 			fmt.Sprintf("%d", rep.Total),
 			fmt.Sprintf("%d", rep.Passed),
@@ -115,14 +126,14 @@ type BrkTraceResult struct {
 func BrkTrace(cfg Config) ([]BrkTraceResult, error) {
 	cfg = cfg.normalize()
 	app := apps.Lulesh()
-	var out []BrkTraceResult
-	for _, kt := range []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS} {
-		res, err := cluster.Run(cluster.Job{App: app, Kernel: kt, Nodes: 1, Seed: cfg.Seed})
+	kts := []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS}
+	return par.MapWidthErr(cfg.Workers, len(kts), func(i int) (BrkTraceResult, error) {
+		res, err := cluster.Run(cluster.Job{App: app, Kernel: kts[i], Nodes: 1, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return BrkTraceResult{}, err
 		}
 		hs := res.HeapStats
-		out = append(out, BrkTraceResult{
+		return BrkTraceResult{
 			Kernel:          res.Kernel,
 			Queries:         hs.Queries,
 			Grows:           hs.Grows,
@@ -131,9 +142,8 @@ func BrkTrace(cfg Config) ([]BrkTraceResult, error) {
 			PeakBytes:       hs.Peak,
 			CumulativeBytes: hs.GrownBytes,
 			HeapFaults:      hs.Faults,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ProxyOptionResult is one application's McKernel proxy-option gain.
@@ -150,29 +160,29 @@ type ProxyOptionResult struct {
 // on 16 nodes for AMG 2013 and MiniFE, respectively."
 func ProxyOptions(cfg Config) ([]ProxyOptionResult, error) {
 	cfg = cfg.normalize()
-	var out []ProxyOptionResult
-	for _, app := range []*apps.Spec{apps.AMG2013(), apps.MiniFE()} {
+	pApps := []*apps.Spec{apps.AMG2013(), apps.MiniFE()}
+	return par.MapWidthErr(cfg.Workers, len(pApps), func(i int) (ProxyOptionResult, error) {
+		app := pApps[i]
 		nodes := 16
 		base, err := measure(cfg, cluster.Job{App: app, Kernel: kernel.TypeMcKernel, Nodes: nodes})
 		if err != nil {
-			return nil, err
+			return ProxyOptionResult{}, err
 		}
 		opts := mckernel.DefaultOptions()
 		opts.MpolShmPremap = true
 		opts.DisableSchedYield = true
 		tuned, err := measure(cfg, cluster.Job{App: app, Kernel: kernel.TypeMcKernel, Nodes: nodes, McK: &opts})
 		if err != nil {
-			return nil, err
+			return ProxyOptionResult{}, err
 		}
-		out = append(out, ProxyOptionResult{
+		return ProxyOptionResult{
 			App:          app.Name,
 			Nodes:        nodes,
 			BaselineFOM:  base.Median,
 			OptimizedFOM: tuned.Median,
 			GainPercent:  (tuned.Median/base.Median - 1) * 100,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // CCSQCDDDROnlyResult compares McKernel's MCDRAM-spill run against a
@@ -236,20 +246,19 @@ func QuadrantComparison(cfg Config) ([]QuadrantRow, error) {
 		{"McKernel SNC-4", cluster.Job{App: app, Kernel: kernel.TypeMcKernel, Nodes: nodes}},
 		{"mOS SNC-4", cluster.Job{App: app, Kernel: kernel.TypeMOS, Nodes: nodes}},
 	}
+	sums, err := par.MapWidthErr(cfg.Workers, len(variants), func(i int) (stats.Summary, error) {
+		return measure(cfg, variants[i].job)
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := sums[0].Median
 	var rows []QuadrantRow
-	var base float64
 	for i, v := range variants {
-		sum, err := measure(cfg, v.job)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			base = sum.Median
-		}
 		rows = append(rows, QuadrantRow{
 			Config:  v.name,
-			FOM:     sum.Median,
-			Percent: sum.Median / base * 100,
+			FOM:     sums[i].Median,
+			Percent: sums[i].Median / base * 100,
 		})
 	}
 	return rows, nil
@@ -289,21 +298,20 @@ func CoreSpecialization(cfg Config) ([]CoreSpecRow, error) {
 		{"mOS, 64 cores (+4 Linux cores)", 64,
 			cluster.Job{App: app, Kernel: kernel.TypeMOS, Nodes: nodes}},
 	}
+	sums, err := par.MapWidthErr(cfg.Workers, len(variants), func(i int) (stats.Summary, error) {
+		return measure(cfg, variants[i].job)
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := sums[0].Median
 	var rows []CoreSpecRow
-	var base float64
 	for i, v := range variants {
-		sum, err := measure(cfg, v.job)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			base = sum.Median
-		}
 		rows = append(rows, CoreSpecRow{
 			Config:   v.name,
 			AppCores: v.cores,
-			FOM:      sum.Median,
-			Percent:  sum.Median / base * 100,
+			FOM:      sums[i].Median,
+			Percent:  sums[i].Median / base * 100,
 		})
 	}
 	return rows, nil

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -249,5 +250,35 @@ func TestShufflePreservesElements(t *testing.T) {
 	}
 	if got != sum {
 		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestStreamSeedMatchesSplit(t *testing.T) {
+	// StreamSeed(base, i) must equal the seed of the i-th Split of a
+	// generator seeded with base — the O(1) shortcut and the explicit
+	// splitting must define the same stream family.
+	for _, base := range []uint64{0, 1, 2, 42, 0xdeadbeef} {
+		r := NewRNG(base)
+		for i := uint64(0); i < 20; i++ {
+			want := r.Split().state
+			if got := StreamSeed(base, i); got != want {
+				t.Fatalf("StreamSeed(%d, %d) = %#x, want %#x", base, i, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamSeedDecorrelatesNearbyBases(t *testing.T) {
+	// The reason StreamSeed replaces Seed+i rep derivation: consecutive
+	// base seeds must not share any stream seeds across small indices.
+	seen := map[uint64]string{}
+	for base := uint64(1); base <= 8; base++ {
+		for i := uint64(0); i < 8; i++ {
+			s := StreamSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("StreamSeed(%d, %d) collides with %s", base, i, prev)
+			}
+			seen[s] = fmt.Sprintf("(%d, %d)", base, i)
+		}
 	}
 }
