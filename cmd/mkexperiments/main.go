@@ -22,15 +22,16 @@ import (
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "restrict sweeps to three node counts per app")
-		reps    = flag.Int("reps", 5, "repetitions per data point")
-		seed    = flag.Uint64("seed", 1, "base seed")
-		only    = flag.String("only", "", "comma-separated artifact subset")
-		workers = flag.Int("workers", 0, "parallel fan-out width over independent runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any width")
+		quick    = flag.Bool("quick", false, "restrict sweeps to three node counts per app")
+		reps     = flag.Int("reps", 5, "repetitions per data point")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		only     = flag.String("only", "", "comma-separated artifact subset")
+		workers  = flag.Int("workers", 0, "parallel fan-out width over independent runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any width")
+		counters = flag.Bool("counters", false, "aggregate and print mechanism counters per figure")
 	)
 	flag.Parse()
 
-	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers, Counters: *counters}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
@@ -47,6 +48,7 @@ func main() {
 			fmt.Print(fig.Render())
 			rel := mklite.Relative(fig)
 			fmt.Print(rel.Render())
+			printCounters(fig)
 			fmt.Println()
 		}
 		fmt.Printf("Cross-application summary: median improvement %.2fx (paper: 1.09x);"+
@@ -58,6 +60,7 @@ func main() {
 		check(err)
 		fmt.Println("==== Figure 5a: CCS-QCD, % of Linux median ====")
 		fmt.Print(fig.Render())
+		printCounters(fig)
 		fmt.Println()
 	}
 	if sel("fig5b") {
@@ -65,6 +68,7 @@ func main() {
 		check(err)
 		fmt.Println("==== Figure 5b: MiniFE scaling (Mflops) ====")
 		fmt.Print(fig.Render())
+		printCounters(fig)
 		fmt.Println()
 	}
 	if sel("fig6a") {
@@ -72,6 +76,7 @@ func main() {
 		check(err)
 		fmt.Println("==== Figure 6a: Lulesh 2.0 scaling (zones/s) ====")
 		fmt.Print(fig.Render())
+		printCounters(fig)
 		fmt.Println()
 	}
 	if sel("fig6b") {
@@ -79,6 +84,7 @@ func main() {
 		check(err)
 		fmt.Println("==== Figure 6b: LAMMPS scaling (timesteps/s) ====")
 		fmt.Print(fig.Render())
+		printCounters(fig)
 		fmt.Println()
 	}
 	if sel("table1") {
@@ -167,6 +173,16 @@ func main() {
 		fmt.Print(rep.Rendered)
 		fmt.Println()
 	}
+}
+
+// printCounters renders a figure's aggregated mechanism counters (set only
+// when -counters is active).
+func printCounters(fig mklite.Figure) {
+	if len(fig.Counters) == 0 {
+		return
+	}
+	fmt.Printf("mechanism counters across all %s runs:\n", fig.ID)
+	fmt.Print(mklite.FormatCounters(fig.Counters))
 }
 
 func ddrNodes(cfg mklite.ExperimentConfig) int {

@@ -12,16 +12,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"maps"
+	"slices"
 
 	"mklite"
 )
 
 func main() {
 	var (
-		iters = flag.Int("iters", 10000, "FWQ/FTQ iterations")
-		seed  = flag.Uint64("seed", 1, "seed")
-		ftq   = flag.Bool("ftq", false, "also run the fixed-time-quanta benchmark")
-		hist  = flag.Bool("hist", false, "print the FWQ sample distribution per kernel")
+		iters    = flag.Int("iters", 10000, "FWQ/FTQ iterations")
+		seed     = flag.Uint64("seed", 1, "seed")
+		ftq      = flag.Bool("ftq", false, "also run the fixed-time-quanta benchmark")
+		hist     = flag.Bool("hist", false, "print the FWQ sample distribution per kernel")
+		counters = flag.Bool("counters", false, "attribute the FWQ detour to its noise sources")
 	)
 	flag.Parse()
 
@@ -35,6 +38,24 @@ func main() {
 		fmt.Printf("%-10s %18s %18s\n", "kernel", "mean utilisation", "worst window")
 		for _, s := range mklite.MeasureUtilization(*seed, *iters) {
 			fmt.Printf("%-10s %18.6f %18.6f\n", s.Kernel, s.MeanUtilization, s.WorstWindow)
+		}
+	}
+	if *counters {
+		fmt.Println("\nPer-source detour attribution (seconds stolen over the whole run):")
+		for _, k := range mklite.Kernels() {
+			srcs, err := mklite.NoiseSourceBreakdown(k, *seed, *iters)
+			if err != nil {
+				fmt.Println("mknoise:", err)
+				return
+			}
+			fmt.Printf("%-10s", k)
+			if len(srcs) == 0 {
+				fmt.Print(" (no detours)")
+			}
+			for _, name := range slices.Sorted(maps.Keys(srcs)) {
+				fmt.Printf("  %s %.6f", name, srcs[name])
+			}
+			fmt.Println()
 		}
 	}
 	if *hist {

@@ -15,6 +15,7 @@ import (
 	"maps"
 	"os"
 	"slices"
+	"strings"
 
 	"mklite"
 )
@@ -34,6 +35,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit results as JSON")
 		sweep     = flag.Bool("sweep", false, "sweep the app's full node-count list")
 		trace     = flag.Bool("trace", false, "print a per-timestep breakdown (first 12 steps)")
+		counters  = flag.Bool("counters", false, "collect and print mechanism counters")
+		traceOut  = flag.String("trace-json", "", "write the run's Chrome trace-event JSON to this file")
 		list      = flag.Bool("list", false, "list applications and exit")
 	)
 	flag.Parse()
@@ -53,6 +56,8 @@ func main() {
 		UserSpaceFabric:   *usFabric,
 		Quadrant:          *quadrant,
 		Trace:             *trace,
+		Counters:          *counters,
+		Events:            *traceOut != "",
 	}
 
 	if *sweep {
@@ -107,6 +112,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, r.TraceJSON, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mkrun: wrote %s (%d bytes)\n", *traceOut, len(r.TraceJSON))
+	}
 	if *jsonOut {
 		emitJSON(r)
 		return
@@ -124,6 +135,12 @@ func main() {
 			r.HeapQueries, r.HeapGrows, r.HeapShrinks, r.HeapPeakBytes, r.HeapGrownBytes, r.HeapFaults)
 	}
 	fmt.Printf("  MCDRAM residency: %d bytes; demand-paged ranks: %d\n", r.MCDRAMBytes, r.DemandRanks)
+	if *counters && len(r.Counters) > 0 {
+		fmt.Println("  mechanism counters:")
+		for line := range strings.Lines(mklite.FormatCounters(r.Counters)) {
+			fmt.Print("    ", line)
+		}
+	}
 	if *trace && len(r.StepTrace) > 0 {
 		fmt.Println("  per-step trace (ms):")
 		fmt.Printf("    %4s %9s %9s %9s %9s %9s %9s\n",

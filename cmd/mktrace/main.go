@@ -1,0 +1,130 @@
+// Command mktrace records a mechanism-level trace of one simulated run:
+// it executes an application on a kernel configuration with the trace
+// subsystem enabled, writes the virtual-time event timeline as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing), and prints
+// the run's mechanism counters.
+//
+// Usage:
+//
+//	mktrace -app minife -kernel mckernel -nodes 64 -o minife.trace.json
+//	mktrace -app lulesh2.0 -kernel mos -nodes 1 -counters-out run.counters.json
+//	mktrace -diff old.counters.json new.counters.json
+//	mktrace -validate run.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mklite"
+	"mklite/internal/trace"
+)
+
+func main() {
+	var (
+		appName     = flag.String("app", "minife", "application to run")
+		kernelStr   = flag.String("kernel", "mckernel", "kernel: linux, mckernel or mos")
+		nodes       = flag.Int("nodes", 64, "node count")
+		seed        = flag.Uint64("seed", 1, "run seed")
+		out         = flag.String("o", "", "trace JSON output path (default <app>-<kernel>-<nodes>.trace.json)")
+		countersOut = flag.String("counters-out", "", "also write the counters as schema-versioned JSON to this file")
+		eventCap    = flag.Int("event-cap", 0, "bound the event ring (0 = default; oldest events are evicted on overflow)")
+		diff        = flag.Bool("diff", false, "diff two counter files (two positional args) and exit")
+		validate    = flag.String("validate", "", "validate a trace JSON file and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Validate(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", *validate, err))
+		}
+		fmt.Printf("%s: valid %s trace\n", *validate, trace.EventsSchema)
+		return
+	}
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two counter files, got %d args", flag.NArg()))
+		}
+		oldC, newC := readCounters(flag.Arg(0)), readCounters(flag.Arg(1))
+		rows := trace.DiffCounters(oldC, newC)
+		if len(rows) == 0 {
+			fmt.Println("no counter differences")
+			return
+		}
+		fmt.Printf("%-28s %14s %14s %14s\n", "counter", "old", "new", "delta")
+		for _, r := range rows {
+			fmt.Printf("%-28s %14d %14d %+14d\n", r.Name, r.Old, r.New, r.Delta())
+		}
+		return
+	}
+
+	k, err := mklite.ParseKernel(*kernelStr)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := mklite.Run(*appName, k, *nodes, *seed, &mklite.Options{
+		Counters: true,
+		Events:   true,
+		EventCap: *eventCap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Never ship a trace this binary would itself reject.
+	if err := trace.Validate(res.TraceJSON); err != nil {
+		fatal(fmt.Errorf("internal error: emitted trace fails validation: %w", err))
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s-%d.trace.json", res.App, *kernelStr, *nodes)
+	}
+	if err := os.WriteFile(path, res.TraceJSON, 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s, %d nodes: FOM %.6g %s, elapsed %.6g s\n",
+		res.App, res.Kernel, res.Nodes, res.FOM, res.Unit, res.ElapsedSeconds)
+	fmt.Printf("trace: %s (%d bytes; open in Perfetto or chrome://tracing)\n", path, len(res.TraceJSON))
+	fmt.Println("mechanism counters:")
+	fmt.Print(mklite.FormatCounters(res.Counters))
+
+	if *countersOut != "" {
+		ctrs := trace.NewCounters()
+		ctrs.MergeMap(res.Counters)
+		f, err := os.Create(*countersOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ctrs.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("counters: %s\n", *countersOut)
+	}
+}
+
+func readCounters(path string) map[string]int64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := trace.ReadCounters(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mktrace:", err)
+	os.Exit(1)
+}

@@ -121,6 +121,93 @@ func TestParallelMatchesSequentialLTP(t *testing.T) {
 	}
 }
 
+// traceModeDigest hashes a three-kernel comparison with the given run
+// options, excluding the trace outputs themselves (Counters/TraceJSON are
+// the observation, not the observed run).
+func traceModeDigest(t *testing.T, opts *Options) string {
+	t.Helper()
+	h := sha256.New()
+	results, err := Compare("minife", 32, 1, opts)
+	if err != nil {
+		t.Fatalf("Compare(minife, 32, 1): %v", err)
+	}
+	enc := json.NewEncoder(h)
+	for _, r := range results {
+		r.Counters = nil
+		r.TraceJSON = nil
+		if err := enc.Encode(r); err != nil {
+			t.Fatalf("encoding result: %v", err)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestTracingIsPassive: the trace subsystem observes the run, it never
+// steers it. Attaching the counter sink or the full event ring must leave
+// every simulated output byte-identical to a tracing-off run — no RNG
+// draws, no feedback into costs or scheduling.
+func TestTracingIsPassive(t *testing.T) {
+	want := traceModeDigest(t, &Options{Trace: true})
+	modes := []struct {
+		name string
+		opts *Options
+	}{
+		{"counters", &Options{Trace: true, Counters: true}},
+		{"counters+events", &Options{Trace: true, Counters: true, Events: true}},
+	}
+	for _, m := range modes {
+		if got := traceModeDigest(t, m.opts); got != want {
+			t.Fatalf("digest with %s tracing differs from tracing off:\n  off: %s\n  %s: %s\nthe trace subsystem has fed back into the simulation", m.name, want, m.name, got)
+		}
+	}
+}
+
+// figure4CountersDigest is figure4Digest with the counter sinks attached;
+// it additionally returns the per-figure merged counters so the caller can
+// assert the counts themselves are width-independent.
+func figure4CountersDigest(t *testing.T, workers int) (string, []map[string]int64) {
+	t.Helper()
+	h := sha256.New()
+	figs, err := experiments.Figure4(experiments.Config{
+		Reps: 2, Seed: 1, Quick: true, Workers: workers, Counters: true,
+	})
+	if err != nil {
+		t.Fatalf("Figure4(workers=%d, counters): %v", workers, err)
+	}
+	var counters []map[string]int64
+	for _, fig := range figs {
+		fmt.Fprint(h, fig.Render())
+		counters = append(counters, fig.Counters)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), counters
+}
+
+// TestTracingIsPassiveUnderPar: the same passivity across the par fan-out —
+// a counter-instrumented Figure 4 grid must render the exact bytes of the
+// uninstrumented sequential run at every width, and the merged counters
+// themselves must not depend on the width (per-repetition sinks merged in
+// index order). Run under -race this also proves sink isolation across
+// workers.
+func TestTracingIsPassiveUnderPar(t *testing.T) {
+	want := figure4Digest(t, 1)
+	wantCounters := []map[string]int64(nil)
+	for _, w := range []int{1, 0} {
+		got, ctrs := figure4CountersDigest(t, w)
+		if got != want {
+			t.Fatalf("Figure 4 digest with counters at width %d differs from tracing off:\n  off: %s\n  counters: %s", w, want, got)
+		}
+		if wantCounters == nil {
+			wantCounters = ctrs
+			continue
+		}
+		for i := range ctrs {
+			if fmt.Sprint(ctrs[i]) != fmt.Sprint(wantCounters[i]) {
+				t.Fatalf("figure %d counters differ between width 1 and width %d:\n  width 1: %v\n  width %d: %v", i, w, wantCounters[i], w, ctrs[i])
+			}
+		}
+	}
+}
+
 func TestDifferentSeedsDiverge(t *testing.T) {
 	// Guards the digest against vacuity: if hashing ignored the actual
 	// results (or the model ignored the seed), every digest would

@@ -23,10 +23,14 @@ type ExperimentConfig struct {
 	// (repetitions, grid cells, applications): 0 uses GOMAXPROCS,
 	// 1 forces sequential execution. Output is identical either way.
 	Workers int
+	// Counters aggregates mechanism counters across every run behind a
+	// figure into Figure.Counters (rendered output is unchanged).
+	Counters bool
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
-	return experiments.Config{Reps: c.Reps, Seed: c.Seed, Quick: c.Quick, Workers: c.Workers}
+	return experiments.Config{Reps: c.Reps, Seed: c.Seed, Quick: c.Quick,
+		Workers: c.Workers, Counters: c.Counters}
 }
 
 // Point is one measurement of a scaling series.
@@ -49,6 +53,10 @@ type Figure struct {
 	ID     string
 	Title  string
 	Series []Series
+	// Counters holds the merged mechanism counters of the runs behind
+	// the figure when ExperimentConfig.Counters was set. Render ignores
+	// it, so figure text is identical with and without counting.
+	Counters map[string]int64
 }
 
 // Get returns the named series or nil.
@@ -65,7 +73,7 @@ func (f *Figure) Get(name string) *Series {
 func (f *Figure) Render() string { return toStatsFigure(f).Render() }
 
 func fromStatsFigure(sf *stats.Figure) Figure {
-	out := Figure{ID: sf.ID, Title: sf.Title}
+	out := Figure{ID: sf.ID, Title: sf.Title, Counters: sf.Counters}
 	for _, s := range sf.Series {
 		ns := Series{Name: s.Name, Unit: s.Unit}
 		for _, p := range s.Points {

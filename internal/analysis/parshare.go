@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -14,31 +15,49 @@ var parFuncs = map[string]bool{
 	"MapWidthErr": true,
 }
 
-// sharedSimTypes are the internal/sim types that are per-job state by
-// contract: a generator shared across par jobs races, and — worse for the
-// reproducibility gate — its draw order becomes a function of worker
-// scheduling, so identically seeded runs diverge silently. Engine and Proc
-// carry the same hazard: the whole simulation state hangs off them.
-var sharedSimTypes = map[string]bool{
-	"RNG":    true,
-	"Engine": true,
-	"Proc":   true,
+// sharedTypeGroups lists the types that are per-job state by contract,
+// grouped by owning package. Sharing one across par jobs races, and — worse
+// for the reproducibility gate — makes the run a function of worker
+// scheduling:
+//
+//   - internal/sim: a shared RNG's draw order depends on which worker draws
+//     first; Engine and Proc carry the whole simulation state.
+//   - internal/trace: Sink/Counters/Events are single-goroutine by design
+//     (no locks on the emission path), so concurrent emission corrupts the
+//     counts and interleaves the event ring nondeterministically. Each job
+//     builds its own sink inside the closure; aggregation happens by
+//     merging in index order after the join.
+var sharedTypeGroups = []struct {
+	pkg   string // import-path suffix of the owning package
+	disp  string // display prefix in diagnostics
+	names map[string]bool
+}{
+	{"internal/sim", "sim", map[string]bool{"RNG": true, "Engine": true, "Proc": true}},
+	{"internal/trace", "trace", map[string]bool{"Sink": true, "Counters": true, "Events": true}},
 }
 
-// ParShare rejects par.Map closures that capture a *sim.RNG (or sim.Engine
-// / sim.Proc) from an enclosing scope. Each job must derive its own stream
-// inside the closure — sim.NewRNG(sim.StreamSeed(seed, i)) or an
-// index-addressed element of rng.SplitN — never share the caller's.
+// ParShare rejects par.Map closures that capture per-job state — a *sim.RNG
+// (or sim.Engine/sim.Proc) or a *trace.Sink (or trace.Counters/trace.Events)
+// — from an enclosing scope, and forbids package-level trace sinks outright.
+// Each job derives its own stream and builds its own sink inside the
+// closure; merged aggregation happens after the join.
 var ParShare = &Analyzer{
 	Name: "parshare",
-	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc) across a " +
-		"par.Map closure; derive per-job streams inside the job from " +
-		"(seed, index) with sim.StreamSeed",
+	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc) or a " +
+		"*trace.Sink (or trace.Counters/trace.Events) across a par.Map " +
+		"closure, and forbid package-level trace sinks; per-job state is " +
+		"derived inside the job and merged after the join",
 	Run: runParShare,
 }
 
 func runParShare(pass *Pass) error {
+	// internal/trace owns the guarded types; its declarations are the
+	// implementation, not a leak.
+	inTracePkg := pass.Pkg != nil && pathMatches(pass.Pkg.Path(), "internal/trace")
 	for _, f := range pass.Files {
+		if !inTracePkg {
+			checkGlobalSinks(pass, f)
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok || !isParCall(pass, call) {
@@ -57,6 +76,32 @@ func runParShare(pass *Pass) error {
 	return nil
 }
 
+// checkGlobalSinks reports package-level variables of a guarded trace type.
+// A package-global sink is shared by construction — every run and every par
+// worker would emit into it — so it can never satisfy the per-run contract.
+func checkGlobalSinks(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || !isTraceType(v.Type()) {
+					continue
+				}
+				pass.Reportf(name.Pos(), "package-level trace sink %s %q: sinks are per-run state threaded through the run's job/config, never package globals (determinism contract, see docs/TRACING.md)",
+					sharedTypeName(v.Type()), name.Name)
+			}
+		}
+	}
+}
+
 // isParCall reports whether call invokes one of internal/par's fan-out
 // functions.
 func isParCall(pass *Pass, call *ast.CallExpr) bool {
@@ -71,7 +116,7 @@ func isParCall(pass *Pass, call *ast.CallExpr) bool {
 	return pathMatches(fn.Pkg().Path(), "internal/par")
 }
 
-// checkClosure reports every use inside lit of a shared-sim-typed variable
+// checkClosure reports every use inside lit of a guarded-typed variable
 // declared outside it.
 func checkClosure(pass *Pass, lit *ast.FuncLit) {
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
@@ -88,32 +133,54 @@ func checkClosure(pass *Pass, lit *ast.FuncLit) {
 		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
 			return true
 		}
-		if name := sharedSimTypeName(v.Type()); name != "" {
-			pass.Reportf(id.Pos(), "par closure captures %s %q from an enclosing scope: per-job state must be derived inside the job — sim.NewRNG(sim.StreamSeed(seed, uint64(i))) — or worker scheduling leaks into the draw order (determinism contract, see docs/LINTING.md)",
-				name, id.Name)
+		if name := sharedTypeName(v.Type()); name != "" {
+			hint := "sim.NewRNG(sim.StreamSeed(seed, uint64(i)))"
+			if isTraceType(v.Type()) {
+				hint = "trace.NewSink(trace.NewCounters(), nil), merged in index order after the join"
+			}
+			pass.Reportf(id.Pos(), "par closure captures %s %q from an enclosing scope: per-job state must be derived inside the job — %s — or worker scheduling leaks into the results (determinism contract, see docs/LINTING.md)",
+				name, id.Name, hint)
 		}
 		return true
 	})
 }
 
-// sharedSimTypeName returns the display name ("*sim.RNG") if t is — or
-// points to — one of the guarded internal/sim types, else "".
-func sharedSimTypeName(t types.Type) string {
-	prefix := ""
+// guardedNamed resolves t (or its pointee) to a guarded named type,
+// returning the type, its group index, and whether t was a pointer.
+func guardedNamed(t types.Type) (named *types.Named, group int, ptr bool) {
 	if p, ok := t.Underlying().(*types.Pointer); ok {
 		t = p.Elem()
+		ptr = true
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return nil, -1, false
+	}
+	for gi, g := range sharedTypeGroups {
+		if g.names[n.Obj().Name()] && pathMatches(n.Obj().Pkg().Path(), g.pkg) {
+			return n, gi, ptr
+		}
+	}
+	return nil, -1, false
+}
+
+// sharedTypeName returns the display name ("*sim.RNG", "*trace.Sink") if t
+// is — or points to — one of the guarded types, else "".
+func sharedTypeName(t types.Type) string {
+	named, gi, ptr := guardedNamed(t)
+	if named == nil {
+		return ""
+	}
+	prefix := ""
+	if ptr {
 		prefix = "*"
 	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return ""
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || !pathMatches(obj.Pkg().Path(), "internal/sim") {
-		return ""
-	}
-	if !sharedSimTypes[obj.Name()] {
-		return ""
-	}
-	return prefix + "sim." + obj.Name()
+	return prefix + sharedTypeGroups[gi].disp + "." + named.Obj().Name()
+}
+
+// isTraceType reports whether t is — or points to — a guarded
+// internal/trace type.
+func isTraceType(t types.Type) bool {
+	_, gi, _ := guardedNamed(t)
+	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/trace"
 }

@@ -2,6 +2,25 @@ package apps
 
 import "mklite/internal/hw"
 
+// The paper's section IV brk-trace shape (LULESH 2.0 with -s 30), exported
+// so the golden mechanism-count tests assert the same numbers the generator
+// uses — one source of truth for "about 12,000 calls to brk".
+const (
+	// BrkS30Queries is the number of sbrk(0) queries in the trace.
+	BrkS30Queries = 7526
+	// BrkS30Grows is the number of growth requests.
+	BrkS30Grows = 3028
+	// BrkS30Shrinks is the number of contraction requests.
+	BrkS30Shrinks = 1499
+	// BrkS30GrowBytes is the size of each expansion (~7.2 MiB; puts the
+	// cumulative growth at ~22 GB over the 3,028 requests).
+	BrkS30GrowBytes = int64(7398) * 1024
+	// BrkS30TrimAbove / BrkS30TrimFloor bound the glibc trimming rhythm
+	// that keeps the peak near the paper's ~87 MB.
+	BrkS30TrimAbove = 80 * hw.MiB
+	BrkS30TrimFloor = 64 * hw.MiB
+)
+
 // LuleshBrkTraceS30 generates the full brk trace of the paper's section IV
 // study (LULESH 2.0 with -s 30): exactly 7,526 queries (sbrk(0)), 3,028
 // growth requests and 1,499 contraction requests — "a total of about
@@ -12,16 +31,12 @@ import "mklite/internal/hw"
 // kernels' process syscall layer by experiments.BrkTraceS30.
 func LuleshBrkTraceS30() []int64 {
 	const (
-		queries = 7526
-		grows   = 3028
-		shrinks = 1499
-		// Average expansion ~7.3 MB puts the cumulative growth at
-		// ~22 GB over 3,028 requests.
-		growBytes = int64(7398) * 1024 // ~7.2 MiB
-		// glibc trims the heap back to a floor once it outgrows the
-		// high-water mark — variable-size contractions.
-		trimAbove = 80 * hw.MiB
-		trimFloor = 64 * hw.MiB
+		queries   = BrkS30Queries
+		grows     = BrkS30Grows
+		shrinks   = BrkS30Shrinks
+		growBytes = BrkS30GrowBytes
+		trimAbove = BrkS30TrimAbove
+		trimFloor = BrkS30TrimFloor
 	)
 	trace := make([]int64, 0, queries+grows+shrinks)
 	var running int64

@@ -25,6 +25,7 @@ import (
 	"mklite/internal/mos"
 	"mklite/internal/mpi"
 	"mklite/internal/sim"
+	"mklite/internal/trace"
 )
 
 // Job describes one run: an application at a node count on a kernel.
@@ -55,6 +56,11 @@ type Job struct {
 	Quadrant bool
 	// Trace records a per-timestep breakdown into Result.Steps.
 	Trace bool
+	// Sink receives mechanism counters and virtual-time events for this
+	// run. It must be owned by the run (never shared across par workers)
+	// and is purely observational: results are byte-identical with or
+	// without one attached.
+	Sink *trace.Sink
 }
 
 // StepRecord is one timestep's attribution (recorded when Job.Trace).

@@ -8,6 +8,7 @@ import (
 	"mklite/internal/mpi"
 	"mklite/internal/noise"
 	"mklite/internal/sim"
+	"mklite/internal/trace"
 )
 
 // haloNeighborhood is the synchronisation scope of a halo exchange: a rank
@@ -16,6 +17,70 @@ import (
 // applications (LAMMPS) show no Linux cliff.
 const haloNeighborhood = 27
 
+// laneMPI is the trace tid carrying per-collective skew instants, kept off
+// the phase-span lane (tid 0) so each lane's timestamps stay monotone.
+const laneMPI = 1
+
+// stepParts is the single composition point for one timestep's duration.
+// The hot loop's elapsed-time accumulation and every observer — the
+// Breakdown, the StepRecord trace and the span emitter — all derive from
+// this one struct, so trace output can never drift from simulated time.
+type stepParts struct {
+	compute sim.Duration
+	memory  sim.Duration
+	heap    sim.Duration
+	syscall sim.Duration
+	comm    sim.Duration
+	noise   sim.Duration
+}
+
+// total is the step's full duration — the only quantity the hot loop adds
+// to elapsed.
+func (p stepParts) total() sim.Duration {
+	return p.compute + p.memory + p.heap + p.syscall + p.comm + p.noise
+}
+
+// record converts the composition into the public per-step attribution.
+func (p stepParts) record() StepRecord {
+	return StepRecord{Compute: p.compute, Memory: p.memory, Heap: p.heap,
+		Syscall: p.syscall, Comm: p.comm, Noise: p.noise}
+}
+
+// addTo accumulates the composition into the run-level breakdown.
+func (p stepParts) addTo(bd *Breakdown) {
+	bd.Compute += p.compute
+	bd.Memory += p.memory
+	bd.Heap += p.heap
+	bd.Syscall += p.syscall
+	bd.Comm += p.comm
+	bd.Noise += p.noise
+}
+
+// emitSpans writes the step's phase timeline: a "step" span enclosing one
+// child span per non-empty phase, laid out sequentially from start in the
+// same order total() sums them. Because the spans are derived from the same
+// stepParts the hot loop adds to elapsed, the enclosing span's end is
+// exactly the simulated step end.
+func (p stepParts) emitSpans(sink *trace.Sink, start sim.Time) {
+	t := int64(start)
+	sink.Begin(t, 0, 0, "step", "cluster")
+	for _, ph := range []struct {
+		name string
+		d    sim.Duration
+	}{
+		{"compute", p.compute}, {"memory", p.memory}, {"heap", p.heap},
+		{"syscall", p.syscall}, {"comm", p.comm}, {"noise", p.noise},
+	} {
+		if ph.d <= 0 {
+			continue
+		}
+		sink.Begin(t, 0, 0, ph.name, "cluster")
+		t += int64(ph.d)
+		sink.End(t, 0, 0, ph.name, "cluster")
+	}
+	sink.End(int64(start)+int64(p.total()), 0, 0, "step", "cluster")
+}
+
 // runSteps executes the application's timestep loop.
 func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RNG) Result {
 	app := j.App
@@ -23,14 +88,20 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 	prof := k.Noise()
 	totalRanks := comm.Ranks()
 
+	sink := j.Sink
+	counting := sink.Counting()
+	eventing := sink.Eventing()
+
 	// Wire costs are identical every step; precompute.
 	var haloWire sim.Duration
 	var haloMsgs float64
+	haloRounds := 0
 	if app.Halo != nil {
 		if h := app.Halo(j.Nodes); h != nil && h.Rounds > 0 {
 			res := comm.HaloExchange(h.Bytes, h.Neighbors)
 			haloWire = res.Time * sim.Duration(h.Rounds)
 			haloMsgs = res.Messages * float64(h.Rounds)
+			haloRounds = h.Rounds
 		}
 	}
 	type collRun struct {
@@ -100,6 +171,10 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 	var res0Steps []StepRecord
 	bd.SetupShm = ns.shmFault
 	elapsed := ns.shmFault
+	if eventing && ns.shmFault > 0 {
+		sink.Begin(0, 0, 0, "shm-fault", "cluster")
+		sink.End(int64(ns.shmFault), 0, 0, "shm-fault", "cluster")
+	}
 
 	// The brk trace depends only on the node count: one lookup serves
 	// every rank of every step. (Calling it inside the per-rank loop was
@@ -110,7 +185,11 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		heapOps = app.HeapOpsPerStep(j.Nodes)
 	}
 
+	ioctlOffloaded := k.Table().Get(kernel.SysIoctl) == kernel.Offloaded
+
 	for step := 0; step < app.Timesteps; step++ {
+		stepStart := sim.Time(elapsed)
+
 		// Heap activity: every rank replays the per-step brk trace on
 		// its own heap engine; the slowest rank gates the node.
 		var heapMax sim.Duration
@@ -135,6 +214,9 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 					heapMax = cost
 				}
 			}
+			if counting {
+				sink.Count("syscall.brk", int64(len(heapOps)*len(ns.ranks)))
+			}
 		}
 
 		// Per-step message-driven device syscalls and spin waiting.
@@ -150,6 +232,19 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		}
 		sysTime := sim.DurationOf(msgs*dsPerMsg*ioctlTime.Seconds()) +
 			sim.DurationOf(float64(app.SchedYieldsPerStep)*yieldTime.Seconds())
+		if counting {
+			devCalls := int64(msgs * dsPerMsg)
+			sink.Count("fabric.messages", int64(msgs))
+			sink.Count("fabric.dev_syscalls", devCalls)
+			sink.Count("syscall.ioctl", devCalls)
+			sink.Count("syscall.sched_yield", int64(app.SchedYieldsPerStep))
+			if ioctlOffloaded && devCalls > 0 {
+				// Every device-file call on the comm path pays the
+				// kernel's IKC/migration round trip.
+				sink.Count("offload.calls", devCalls)
+				sink.Count("offload.rtt_ns", devCalls*int64(costs.OffloadRTT))
+			}
+		}
 
 		// The slowest rank's local phase gates the node (ranks differ
 		// only in memory placement).
@@ -171,42 +266,53 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		// was silently dropped whenever a collective was due).
 		var detour sim.Duration
 		for i := 0; i < collsDue; i++ {
-			detour += noise.MaxDetour(rng, prof, totalRanks, base)
+			d, maxRank := noise.MaxDetourRank(rng, prof, totalRanks, base)
+			detour += d
+			if counting {
+				sink.Count("mpi.collectives", 1)
+				sink.Count("noise.collective_max_ns", int64(d))
+			}
+			if eventing {
+				sink.Instant(int64(stepStart), 0, laneMPI, "collective", "mpi",
+					map[string]int64{"step": int64(step), "max_rank": int64(maxRank),
+						"skew_ns": int64(d)})
+			}
 		}
 		if haloWire > 0 {
 			nb := haloNeighborhood
 			if nb > totalRanks {
 				nb = totalRanks
 			}
-			detour += noise.MaxDetour(rng, prof, nb, base)
+			d, _ := noise.MaxDetourRank(rng, prof, nb, base)
+			detour += d
+			if counting {
+				sink.Count("mpi.halo_exchanges", int64(haloRounds))
+				sink.Count("noise.halo_max_ns", int64(d))
+			}
 		}
 		if collsDue == 0 && haloWire == 0 {
 			// No synchronisation: only the rank's own detour counts.
-			detour = prof.DetourIn(rng, 1, base)
+			detour = prof.DetourInTo(rng, 1, base, sink)
 		}
 		if core0Hosted {
-			if d0 := prof.DetourIn(rng, 0, base); d0 > detour {
+			if d0 := prof.DetourInTo(rng, 0, base, sink); d0 > detour {
 				detour = d0
 			}
 		}
 
-		elapsed += base + haloWire + collWire + detour
-		if j.Trace {
-			res0Steps = append(res0Steps, StepRecord{
-				Compute: cpuTime,
-				Memory:  memMax,
-				Heap:    heapMax,
-				Syscall: sysTime,
-				Comm:    haloWire + collWire,
-				Noise:   detour,
-			})
+		parts := stepParts{compute: cpuTime, memory: memMax, heap: heapMax,
+			syscall: sysTime, comm: haloWire + collWire, noise: detour}
+		if counting {
+			sink.Count("noise.detour_ns", int64(detour))
 		}
-		bd.Compute += cpuTime
-		bd.Memory += memMax
-		bd.Heap += heapMax
-		bd.Syscall += sysTime
-		bd.Comm += haloWire + collWire
-		bd.Noise += detour
+		if eventing {
+			parts.emitSpans(sink, stepStart)
+		}
+		elapsed += parts.total()
+		if j.Trace {
+			res0Steps = append(res0Steps, parts.record())
+		}
+		parts.addTo(&bd)
 	}
 
 	work := app.WorkPerStepPerNode(j.Nodes) * float64(app.Timesteps)

@@ -144,6 +144,9 @@ func setupNode(k kernel.Kernel, j Job, rng *sim.RNG) (*nodeState, error) {
 	for r := 0; r < app.RanksPerNode; r++ {
 		quad := r * 4 / app.RanksPerNode
 		rs := &rankState{id: r, homeQuad: quad, as: mem.NewAddrSpace(k.Phys())}
+		// Attach the run's sink before any mapping so placement, fault
+		// and heap counters cover the whole setup.
+		rs.as.SetSink(j.Sink)
 
 		pol := wsPolicy(k, j, quad, ws)
 		v, err := rs.as.Map(ws, mem.VMAAnon, pol)

@@ -16,6 +16,7 @@ import (
 	"mklite/internal/par"
 	"mklite/internal/sim"
 	"mklite/internal/stats"
+	"mklite/internal/trace"
 )
 
 // Config controls an experiment run.
@@ -34,6 +35,12 @@ type Config struct {
 	// byte-identical at any width — every job derives its own RNG
 	// stream from (Seed, index), enforced by determinism_test.go.
 	Workers int
+	// Counters attaches a per-repetition trace.Counters sink to every
+	// run and merges the aggregates into the produced figures
+	// (Figure.Counters). Each repetition owns its sink — created inside
+	// the par closure, merged in index order after the join — so the
+	// fan-out stays race-free and rendered figure bytes are unchanged.
+	Counters bool
 }
 
 // DefaultConfig mirrors the paper's methodology.
@@ -67,19 +74,51 @@ func (c Config) nodeCounts(app *apps.Spec) []int {
 // share all but one rep seed, so their "independent" repetitions were
 // almost entirely correlated.
 func measure(cfg Config, job cluster.Job) (stats.Summary, error) {
-	foms, err := par.MapWidthErr(cfg.Workers, cfg.Reps, func(rep int) (float64, error) {
+	sum, _, err := measureCounted(cfg, job)
+	return sum, err
+}
+
+// repResult carries one repetition's observables through the fan-out join.
+type repResult struct {
+	fom      float64
+	counters *trace.Counters
+}
+
+// measureCounted is measure plus optional mechanism counters: with
+// cfg.Counters set, every repetition runs with its own trace sink (created
+// inside the worker closure — sinks must never cross par workers) and the
+// per-rep counter sets are merged in index order after the join, keeping the
+// aggregate independent of scheduling.
+func measureCounted(cfg Config, job cluster.Job) (stats.Summary, *trace.Counters, error) {
+	reps, err := par.MapWidthErr(cfg.Workers, cfg.Reps, func(rep int) (repResult, error) {
 		j := job // per-job copy; the closure shares nothing mutable
 		j.Seed = sim.StreamSeed(cfg.Seed, uint64(rep))
+		var ctrs *trace.Counters
+		if cfg.Counters {
+			ctrs = trace.NewCounters()
+			j.Sink = trace.NewSink(ctrs, nil)
+		}
 		res, err := cluster.Run(j)
 		if err != nil {
-			return 0, err
+			return repResult{}, err
 		}
-		return res.FOM, nil
+		return repResult{fom: res.FOM, counters: ctrs}, nil
 	})
 	if err != nil {
-		return stats.Summary{}, err
+		return stats.Summary{}, nil, err
 	}
-	return stats.Summarize(foms), nil
+	foms := make([]float64, len(reps))
+	var merged *trace.Counters
+	if cfg.Counters {
+		merged = trace.NewCounters()
+	}
+	for i, r := range reps {
+		foms[i] = r.fom
+		if merged != nil {
+			merged.Merge(r.counters)
+		}
+	}
+	return stats.Summarize(foms), merged, nil
 }
 
 // appFigure builds the three-kernel figure for one application by fanning
@@ -89,13 +128,17 @@ func measure(cfg Config, job cluster.Job) (stats.Summary, error) {
 func appFigure(cfg Config, app *apps.Spec, id string) (*stats.Figure, error) {
 	kts := []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS}
 	nodes := cfg.nodeCounts(app)
-	sums, err := par.MapWidthErr(cfg.Workers, len(kts)*len(nodes), func(i int) (stats.Summary, error) {
+	type cell struct {
+		sum      stats.Summary
+		counters *trace.Counters
+	}
+	cells, err := par.MapWidthErr(cfg.Workers, len(kts)*len(nodes), func(i int) (cell, error) {
 		kt, n := kts[i/len(nodes)], nodes[i%len(nodes)]
-		sum, err := measure(cfg, cluster.Job{App: app, Kernel: kt, Nodes: n})
+		sum, ctrs, err := measureCounted(cfg, cluster.Job{App: app, Kernel: kt, Nodes: n})
 		if err != nil {
-			return stats.Summary{}, fmt.Errorf("experiments: %s on %v at %d nodes: %w", app.Name, kt, n, err)
+			return cell{}, fmt.Errorf("experiments: %s on %v at %d nodes: %w", app.Name, kt, n, err)
 		}
-		return sum, nil
+		return cell{sum: sum, counters: ctrs}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -104,9 +147,16 @@ func appFigure(cfg Config, app *apps.Spec, id string) (*stats.Figure, error) {
 	for ki, kt := range kts {
 		s := &stats.Series{Name: kt.String(), Unit: app.Unit}
 		for ni, n := range nodes {
-			s.Add(n, sums[ki*len(nodes)+ni])
+			s.Add(n, cells[ki*len(nodes)+ni].sum)
 		}
 		fig.Series = append(fig.Series, s)
+	}
+	if cfg.Counters {
+		merged := trace.NewCounters()
+		for _, c := range cells {
+			merged.Merge(c.counters)
+		}
+		fig.Counters = merged.Map()
 	}
 	return fig, nil
 }

@@ -1,0 +1,223 @@
+package experiments
+
+// Golden mechanism-count tests: the paper's section IV narrative pinned as
+// exact counter values through the trace subsystem — the same counting path
+// every traced run uses, so the numbers here cannot drift from what the
+// tables report.
+
+import (
+	"testing"
+
+	"mklite/internal/apps"
+	"mklite/internal/cluster"
+	"mklite/internal/hw"
+	"mklite/internal/kernel"
+	"mklite/internal/mckernel"
+	"mklite/internal/mos"
+	"mklite/internal/nodesim"
+	"mklite/internal/sim"
+	"mklite/internal/trace"
+)
+
+// TestBrkTraceS30GoldenCounts pins the paper's brk numbers — "7,526 queries
+// ... 3,028 expansion requests, and 1,499 requests for contraction for a
+// total of about 12,000 calls to brk", ~87 MB peak, ~22 GB cumulative — on
+// every kernel, and cross-checks the trace counters against the heap
+// engine's own statistics so there is provably one counting path.
+func TestBrkTraceS30GoldenCounts(t *testing.T) {
+	for _, kt := range []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS} {
+		t.Run(kt.String(), func(t *testing.T) {
+			ctrs := trace.NewCounters()
+			p, _, _, err := replayBrkS30(kt, trace.NewSink(ctrs, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Exit()
+
+			// The paper's exact call counts.
+			for _, g := range []struct {
+				name string
+				want int64
+			}{
+				{"heap.queries", apps.BrkS30Queries},
+				{"heap.grows", apps.BrkS30Grows},
+				{"heap.shrinks", apps.BrkS30Shrinks},
+			} {
+				if got := ctrs.Get(g.name); got != g.want {
+					t.Errorf("%s = %d, want %d", g.name, got, g.want)
+				}
+			}
+			// Every brk lands in the syscall dispatch exactly once.
+			totalCalls := int64(apps.BrkS30Queries + apps.BrkS30Grows + apps.BrkS30Shrinks)
+			if got := ctrs.Get("syscall.brk"); got != totalCalls {
+				t.Errorf("syscall.brk = %d, want %d", got, totalCalls)
+			}
+
+			// One counting path: the counters must equal the heap
+			// engine's bespoke statistics field for field.
+			st := p.Heap.Stats()
+			for _, c := range []struct {
+				name string
+				stat int64
+			}{
+				{"heap.queries", st.Queries},
+				{"heap.grows", st.Grows},
+				{"heap.shrinks", st.Shrinks},
+				{"heap.grown_bytes", st.GrownBytes},
+				{"heap.peak_bytes", st.Peak},
+				{"heap.faults", st.Faults},
+				{"heap.zeroed_bytes", st.ZeroedBytes},
+			} {
+				if got := ctrs.Get(c.name); got != c.stat {
+					t.Errorf("%s = %d, diverges from HeapStats value %d", c.name, got, c.stat)
+				}
+			}
+
+			// Peak heap ~87 MB; cumulative growth ~22 GB (both ±10%).
+			if peak := ctrs.Get("heap.peak_bytes"); peak < 78e6 || peak > 96e6 {
+				t.Errorf("heap.peak_bytes = %d, want ~87 MB", peak)
+			}
+			if grown := ctrs.Get("heap.grown_bytes"); grown < 20e9 || grown > 24e9 {
+				t.Errorf("heap.grown_bytes = %d, want ~22 GB", grown)
+			}
+		})
+	}
+}
+
+// runCounters runs one cluster job with a fresh Counters sink attached.
+func runCounters(t *testing.T, j cluster.Job) *trace.Counters {
+	t.Helper()
+	ctrs := trace.NewCounters()
+	j.Sink = trace.NewSink(ctrs, nil)
+	if _, err := cluster.Run(j); err != nil {
+		t.Fatal(err)
+	}
+	return ctrs
+}
+
+// TestOffloadCountsGolden pins the offload mechanism behind Figure 6b at
+// the cluster layer. On one node, Lulesh's communication never leaves the
+// node, so no device-file syscalls — and therefore no offloads — happen on
+// any kernel: the counter proves why single-node runs show none of the
+// fabric-syscall effect. As soon as communication crosses nodes (LAMMPS, the
+// paper's device-syscall-heavy case), McKernel and mOS offload exactly the
+// same calls; only the per-call round trip differs, in the ratio of their
+// IKC/migration costs.
+func TestOffloadCountsGolden(t *testing.T) {
+	kts := []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS}
+
+	// 1-node Lulesh: the comm path issues zero device syscalls.
+	for _, kt := range kts {
+		ctrs := runCounters(t, cluster.Job{App: apps.Lulesh(), Kernel: kt, Nodes: 1, Seed: 1})
+		if got := ctrs.Get("offload.calls"); got != 0 {
+			t.Errorf("1-node Lulesh on %v: offload.calls = %d, want 0", kt, got)
+		}
+		if got := ctrs.Get("fabric.dev_syscalls"); got != 0 {
+			t.Errorf("1-node Lulesh on %v: fabric.dev_syscalls = %d, want 0", kt, got)
+		}
+	}
+
+	// Multi-node LAMMPS: identical offload counts, kernel-specific cost.
+	byKernel := map[kernel.Type]*trace.Counters{}
+	for _, kt := range kts {
+		byKernel[kt] = runCounters(t, cluster.Job{App: apps.LAMMPS(), Kernel: kt, Nodes: 2, Seed: 1})
+	}
+	mck, ms := byKernel[kernel.TypeMcKernel], byKernel[kernel.TypeMOS]
+	if got := mck.Get("offload.calls"); got == 0 {
+		t.Fatal("2-node LAMMPS on McKernel: offload.calls = 0, want > 0")
+	}
+	if a, b := mck.Get("offload.calls"), ms.Get("offload.calls"); a != b {
+		t.Errorf("offload.calls differ: McKernel %d vs mOS %d", a, b)
+	}
+	// Every device syscall on the comm path is one ioctl and, on an LWK,
+	// one offload.
+	for kt, c := range map[kernel.Type]*trace.Counters{kernel.TypeMcKernel: mck, kernel.TypeMOS: ms} {
+		if dev, off := c.Get("fabric.dev_syscalls"), c.Get("offload.calls"); dev != off {
+			t.Errorf("%v: fabric.dev_syscalls %d != offload.calls %d", kt, dev, off)
+		}
+		if dev, io := c.Get("fabric.dev_syscalls"), c.Get("syscall.ioctl"); dev != io {
+			t.Errorf("%v: fabric.dev_syscalls %d != syscall.ioctl %d", kt, dev, io)
+		}
+	}
+	// Round-trip attribution follows the kernels' costs exactly.
+	wantMck := mck.Get("offload.calls") * int64(kernel.McKernelCosts().OffloadRTT)
+	wantMOS := ms.Get("offload.calls") * int64(kernel.MOSCosts().OffloadRTT)
+	if got := mck.Get("offload.rtt_ns"); got != wantMck {
+		t.Errorf("McKernel offload.rtt_ns = %d, want %d", got, wantMck)
+	}
+	if got := ms.Get("offload.rtt_ns"); got != wantMOS {
+		t.Errorf("mOS offload.rtt_ns = %d, want %d", got, wantMOS)
+	}
+	// Linux executes device syscalls natively: no offload counters at all.
+	if lin := byKernel[kernel.TypeLinux]; lin.Get("offload.calls") != 0 || lin.Get("offload.rtt_ns") != 0 {
+		t.Errorf("Linux recorded offload counters: calls=%d rtt=%d",
+			lin.Get("offload.calls"), lin.Get("offload.rtt_ns"))
+	}
+}
+
+// TestNodesimOffloadCountsGolden pins the same parity one layer down, at the
+// discrete-event IKC queue: a Lulesh-shaped single-node run issues exactly
+// ranks x steps x syscalls offloads on both LWKs, every one of them is
+// serviced, and McKernel's proxy round trip makes its worst-case offload
+// latency strictly larger than mOS's migration under identical load.
+func TestNodesimOffloadCountsGolden(t *testing.T) {
+	const (
+		ranks    = 8
+		steps    = 10
+		syscalls = 4
+	)
+	run := func(k kernel.Kernel) (*trace.Counters, nodesim.Result) {
+		ctrs := trace.NewCounters()
+		res, err := nodesim.Run(nodesim.Config{
+			Kern:            k,
+			Ranks:           ranks,
+			Steps:           steps,
+			ComputePerStep:  50 * sim.Microsecond,
+			SyscallsPerStep: syscalls,
+			SyscallService:  2 * sim.Microsecond,
+			Barrier:         true,
+			Seed:            1,
+			Sink:            trace.NewSink(ctrs, nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrs, res
+	}
+
+	mckKern, _, err := mckernel.Deploy(hw.KNL7250SNC4(), mckernel.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mosKern, err := mos.Boot(hw.KNL7250SNC4(), mos.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mck, mckRes := run(mckKern)
+	ms, mosRes := run(mosKern)
+
+	want := int64(ranks * steps * syscalls)
+	for name, c := range map[string]*trace.Counters{"McKernel": mck, "mOS": ms} {
+		if got := c.Get("ihk.offloads"); got != want {
+			t.Errorf("%s: ihk.offloads = %d, want %d", name, got, want)
+		}
+		if off, srv := c.Get("ihk.offloads"), c.Get("ihk.serviced"); off != srv {
+			t.Errorf("%s: %d offloads but %d serviced", name, off, srv)
+		}
+	}
+	if mckRes.OffloadsServiced != int(want) || mosRes.OffloadsServiced != int(want) {
+		t.Errorf("OffloadsServiced = %d / %d, want %d",
+			mckRes.OffloadsServiced, mosRes.OffloadsServiced, want)
+	}
+	// Identical counts, different cost: the proxy's software overhead puts
+	// McKernel's worst offload round trip above mOS's.
+	mckMax := mck.Get("nodesim.max_offload_latency_ns")
+	mosMax := ms.Get("nodesim.max_offload_latency_ns")
+	if mckMax <= mosMax {
+		t.Errorf("max offload latency: McKernel %d ns <= mOS %d ns; proxy overhead should dominate", mckMax, mosMax)
+	}
+	if int64(mckRes.MaxOffloadLatency) != mckMax || int64(mosRes.MaxOffloadLatency) != mosMax {
+		t.Errorf("counter/Result max-latency divergence: %d/%d vs %d/%d",
+			mckMax, int64(mckRes.MaxOffloadLatency), mosMax, int64(mosRes.MaxOffloadLatency))
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"mklite/internal/mos"
 	"mklite/internal/par"
 	"mklite/internal/stats"
+	"mklite/internal/trace"
 )
 
 // TableIRow is one row of the paper's Table I.
@@ -333,46 +334,64 @@ type BrkTraceS30Result struct {
 	KernelTimeSecs float64
 }
 
-// BrkTraceS30 replays the exact trace on one process per kernel.
+// replayBrkS30 boots the given kernel and replays the exact section IV trace
+// call-for-call through one process wired to sink. It is the single replay
+// path shared by BrkTraceS30 and the golden mechanism-count tests, so the
+// table and the trace counters can never disagree about what ran.
+//
+// The caller owns the returned process (and must Exit it); faultWork is the
+// demand-fault work the application's first touches generated.
+func replayBrkS30(kt kernel.Type, sink *trace.Sink) (*kernel.Process, kernel.Kernel, mem.Work, error) {
+	var k kernel.Kernel
+	var err error
+	switch kt {
+	case kernel.TypeLinux:
+		k, err = linuxos.Boot(hw.KNL7250SNC4(), linuxos.DefaultConfig())
+	case kernel.TypeMcKernel:
+		k, _, err = mckernel.Deploy(hw.KNL7250SNC4(), mckernel.DefaultOptions())
+	default:
+		k, err = mos.Boot(hw.KNL7250SNC4(), mos.DefaultConfig())
+	}
+	if err != nil {
+		return nil, nil, mem.Work{}, err
+	}
+	p, err := kernel.NewProcessWith(k, 1, hw.GiB, sink)
+	if err != nil {
+		return nil, nil, mem.Work{}, err
+	}
+	var faultWork mem.Work
+	for _, delta := range apps.LuleshBrkTraceS30() {
+		if _, err := p.Sbrk(delta); err != nil {
+			p.Exit()
+			return nil, nil, mem.Work{}, fmt.Errorf("experiments: brk trace on %s: %w", k.Name(), err)
+		}
+		if delta > 0 {
+			faultWork.Accumulate(p.Heap.TouchUpTo(p.Heap.Size()))
+		}
+	}
+	return p, k, faultWork, nil
+}
+
+// BrkTraceS30 replays the exact trace on one process per kernel. The row
+// values are read from the run's mechanism counters — the same counting path
+// every traced run uses — rather than from a parallel set of bespoke
+// accumulators.
 func BrkTraceS30() ([]BrkTraceS30Result, error) {
-	trace := apps.LuleshBrkTraceS30()
 	var out []BrkTraceS30Result
 	for _, kt := range []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS} {
-		var k kernel.Kernel
-		var err error
-		switch kt {
-		case kernel.TypeLinux:
-			k, err = linuxos.Boot(hw.KNL7250SNC4(), linuxos.DefaultConfig())
-		case kernel.TypeMcKernel:
-			k, _, err = mckernel.Deploy(hw.KNL7250SNC4(), mckernel.DefaultOptions())
-		default:
-			k, err = mos.Boot(hw.KNL7250SNC4(), mos.DefaultConfig())
-		}
+		ctrs := trace.NewCounters()
+		p, k, faultWork, err := replayBrkS30(kt, trace.NewSink(ctrs, nil))
 		if err != nil {
 			return nil, err
 		}
-		p, err := kernel.NewProcess(k, 1, hw.GiB)
-		if err != nil {
-			return nil, err
-		}
-		var faultWork mem.Work
-		for _, delta := range trace {
-			if _, err := p.Sbrk(delta); err != nil {
-				return nil, fmt.Errorf("experiments: brk trace on %s: %w", k.Name(), err)
-			}
-			if delta > 0 {
-				faultWork.Accumulate(p.Heap.TouchUpTo(p.Heap.Size()))
-			}
-		}
-		st := p.Heap.Stats()
 		total := p.SyscallTime + k.Costs().WorkTime(faultWork)
 		out = append(out, BrkTraceS30Result{
 			Kernel:          k.Type().String(),
-			Calls:           st.Calls(),
-			PeakBytes:       st.Peak,
-			CumulativeBytes: st.GrownBytes,
-			HeapFaults:      st.Faults,
-			ZeroedBytes:     st.ZeroedBytes,
+			Calls:           ctrs.Get("heap.queries") + ctrs.Get("heap.grows") + ctrs.Get("heap.shrinks"),
+			PeakBytes:       ctrs.Get("heap.peak_bytes"),
+			CumulativeBytes: ctrs.Get("heap.grown_bytes"),
+			HeapFaults:      ctrs.Get("heap.faults"),
+			ZeroedBytes:     ctrs.Get("heap.zeroed_bytes"),
 			KernelTimeSecs:  total.Seconds(),
 		})
 		p.Exit()

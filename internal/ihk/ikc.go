@@ -70,6 +70,10 @@ type OffloadServer struct {
 	nextID  int
 	// Serviced counts completed offloads.
 	Serviced int
+	// depth tracks requests enqueued but not yet picked up by a worker;
+	// the engine's trace sink exports it as the "offload.queue_depth"
+	// counter timeline.
+	depth int64
 }
 
 type offloadReq struct {
@@ -95,8 +99,13 @@ func NewOffloadServer(eng *sim.Engine, ikc *IKC, workers int) *OffloadServer {
 func (s *OffloadServer) worker(p *sim.Proc) {
 	for {
 		req := p.Recv(&s.queue).(offloadReq)
+		s.depth--
+		if sink := s.eng.Sink(); sink.Eventing() {
+			sink.CounterEvent(int64(s.eng.Now()), 0, "offload.queue_depth", s.depth)
+		}
 		p.Sleep(req.service)
 		s.Serviced++
+		s.eng.Sink().Count("ihk.serviced", 1)
 		if sig := s.replies[req.id]; sig != nil {
 			delete(s.replies, req.id)
 			sig.Fire(s.eng)
@@ -119,6 +128,14 @@ func (s *OffloadServer) Offload(p *sim.Proc, appCore int, service sim.Duration) 
 	sig := &sim.Signal{}
 	s.replies[id] = sig
 	s.queue.Send(s.eng, offloadReq{id: id, appCore: appCore, service: service})
+	s.depth++
+	if sink := s.eng.Sink(); sink != nil {
+		sink.Count("ihk.offloads", 1)
+		sink.Count("ihk.rtt_ns", int64(rtt))
+		if sink.Eventing() {
+			sink.CounterEvent(int64(s.eng.Now()), 0, "offload.queue_depth", s.depth)
+		}
+	}
 	p.WaitSignal(sig)
 	// Response flight time.
 	p.Sleep(rtt - rtt/2)

@@ -5,6 +5,7 @@ import (
 
 	"mklite/internal/mem"
 	"mklite/internal/sim"
+	"mklite/internal/trace"
 )
 
 // Process is a simulated application process: an address space, a heap,
@@ -32,6 +33,10 @@ type Process struct {
 	SyscallTime sim.Duration
 	// Calls counts syscall invocations by number.
 	Calls map[Sysno]int
+
+	// sink observes dispatch: per-syscall counts plus offload round-trip
+	// attribution. Nil when tracing is off.
+	sink *trace.Sink
 }
 
 // ProxyProcess is the Linux-side agent of an LWK process.
@@ -43,12 +48,20 @@ type ProxyProcess struct {
 // NewProcess builds a process on the given kernel. Kernels whose file
 // class is offloaded get a proxy-held descriptor table.
 func NewProcess(k Kernel, pid int, heapLimit int64) (*Process, error) {
+	return NewProcessWith(k, pid, heapLimit, nil)
+}
+
+// NewProcessWith is NewProcess with a trace sink attached before the heap is
+// created, so heap-engine and address-space counters cover the process's
+// whole lifetime. A nil sink gives exactly NewProcess's behaviour.
+func NewProcessWith(k Kernel, pid int, heapLimit int64, sink *trace.Sink) (*Process, error) {
 	as := mem.NewAddrSpace(k.Phys())
+	as.SetSink(sink)
 	h, err := k.NewHeap(as, heapLimit, nil)
 	if err != nil {
 		return nil, fmt.Errorf("kernel: process %d heap: %w", pid, err)
 	}
-	p := &Process{PID: pid, Kern: k, AS: as, Heap: h, Calls: map[Sysno]int{}}
+	p := &Process{PID: pid, Kern: k, AS: as, Heap: h, Calls: map[Sysno]int{}, sink: sink}
 	if k.Table().Get(SysOpen) == Offloaded {
 		p.Proxy = &ProxyProcess{PID: pid + 100000, FDs: NewFDTable()}
 	} else {
@@ -65,10 +78,23 @@ func (p *Process) table() *FDTable {
 	return p.fds
 }
 
-// charge accounts one syscall invocation plus extra kernel work.
+// charge accounts one syscall invocation plus extra kernel work. With a
+// counting sink attached it also records the dispatch — per-syscall counts
+// and, for offloaded calls, the IKC/migration round trip the dispatch paid —
+// so the trace's view can never drift from SyscallTime.
 func (p *Process) charge(n Sysno, extra sim.Duration) {
 	p.SyscallTime += p.Kern.SyscallTime(n) + extra
 	p.Calls[n]++
+	if p.sink.Counting() {
+		p.sink.Count("syscall."+n.String(), 1)
+		switch p.Kern.Table().Get(n) {
+		case Offloaded:
+			p.sink.Count("offload.calls", 1)
+			p.sink.Count("offload.rtt_ns", int64(p.Kern.Costs().OffloadRTT))
+		case Unsupported:
+			p.sink.Count("syscall.enosys", 1)
+		}
+	}
 }
 
 // errUnsupported builds the ENOSYS-style error for a refused call.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mklite/internal/hw"
+	"mklite/internal/trace"
 )
 
 // VMAKind classifies a virtual memory area. The paper's kernels expose
@@ -115,6 +116,7 @@ type AddrSpace struct {
 	phys *Phys
 	vmas []*VMA // sorted by Start
 	next int64  // bump pointer for new mappings
+	sink *trace.Sink
 
 	// TotalFaults counts demand faults across the whole space.
 	TotalFaults int64
@@ -131,6 +133,31 @@ func NewAddrSpace(phys *Phys) *AddrSpace {
 
 // Phys returns the node allocator the space draws from.
 func (as *AddrSpace) Phys() *Phys { return as.phys }
+
+// SetSink attaches a run's trace sink. The sink only observes — placement,
+// fault and VMA counters — and never alters behaviour, so a nil sink and an
+// attached sink produce byte-identical simulation results.
+func (as *AddrSpace) SetSink(s *trace.Sink) { as.sink = s }
+
+// Sink returns the attached trace sink (nil when tracing is off).
+func (as *AddrSpace) Sink() *trace.Sink { return as.sink }
+
+// notePlacement records where freshly allocated extents landed: bytes per
+// memory kind, plus the paper's "silent spill" — bytes that ended up in DDR4
+// while the policy's first preference was an MCDRAM domain.
+func (as *AddrSpace) notePlacement(pol Policy, dom int, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	if as.kindOfDomain(dom) == hw.MCDRAM {
+		as.sink.Count("mem.bytes.mcdram", bytes)
+		return
+	}
+	as.sink.Count("mem.bytes.ddr4", bytes)
+	if len(pol.Domains) > 0 && as.kindOfDomain(pol.Domains[0]) == hw.MCDRAM {
+		as.sink.Count("mem.spill_ddr4_bytes", bytes)
+	}
+}
 
 // VMAs returns the areas sorted by start address.
 func (as *AddrSpace) VMAs() []*VMA { return as.vmas }
@@ -187,9 +214,11 @@ func (as *AddrSpace) Map(size int64, kind VMAKind, pol Policy) (*VMA, error) {
 					size, got, pol.Domains)
 			}
 			v.DemandActive = true
+			as.sink.Count("mem.vma.demand_fallback", 1)
 		}
 	}
 	as.insert(v)
+	as.sink.Count("mem.vma.map", 1)
 	return v, nil
 }
 
@@ -207,6 +236,7 @@ func (as *AddrSpace) Unmap(v *VMA) error {
 		if w == v {
 			as.releaseBackings(v)
 			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			as.sink.Count("mem.vma.unmap", 1)
 			return nil
 		}
 	}
@@ -229,6 +259,7 @@ func (as *AddrSpace) releaseBackings(v *VMA) {
 // produces exactly the behaviour the paper describes: fill MCDRAM with the
 // largest pages its contiguity allows, then spill to DDR4, "silently".
 func (as *AddrSpace) populate(v *VMA, want int64) int64 {
+	counting := as.sink.Counting()
 	var got int64
 	for _, dom := range v.Pol.Domains {
 		if got >= want {
@@ -251,6 +282,9 @@ func (as *AddrSpace) populate(v *VMA, want int64) int64 {
 			exts, n := as.phys.AllocUpTo(dom, need, int64(p))
 			for _, e := range exts {
 				v.Backings = append(v.Backings, Backing{Ext: e, Page: p})
+			}
+			if counting {
+				as.notePlacement(v.Pol, dom, n)
 			}
 			got += n
 		}
@@ -281,7 +315,7 @@ func (as *AddrSpace) TouchWithPage(v *VMA, offset, length int64, maxPage hw.Page
 		return TouchResult{PerDomain: map[int]int64{}}
 	}
 	end := offset + length
-	res := as.demandPopulate(v, end, maxPage)
+	res := as.demandPopulate(v, end, maxPage, true)
 	v.Faults += res.Faults
 	as.TotalFaults += res.Faults
 	return res
@@ -291,7 +325,7 @@ func (as *AddrSpace) TouchWithPage(v *VMA, offset, length int64, maxPage hw.Page
 // accounting: this is kernel-driven population at map/brk time (the LWK
 // path), not application-driven faulting.
 func (as *AddrSpace) PopulateTo(v *VMA, end int64) TouchResult {
-	res := as.demandPopulate(v, end, v.Pol.MaxPage)
+	res := as.demandPopulate(v, end, v.Pol.MaxPage, false)
 	res.Faults = 0
 	return res
 }
@@ -332,9 +366,10 @@ func (as *AddrSpace) Trim(v *VMA, newEnd int64) int64 {
 
 // demandPopulate extends v's populated watermark to end (clamped to the
 // area size), allocating pages per the policy — capped at maxPage for this
-// call — and reporting one fault per page in the result. Callers decide
-// whether those count as faults.
-func (as *AddrSpace) demandPopulate(v *VMA, end int64, maxPage hw.PageSize) TouchResult {
+// call — and reporting one fault per page in the result. faulting marks
+// application-driven first touch (counted as demand faults in the sink);
+// kernel-driven population (PopulateTo) passes false.
+func (as *AddrSpace) demandPopulate(v *VMA, end int64, maxPage hw.PageSize, faulting bool) TouchResult {
 	res := TouchResult{PerDomain: map[int]int64{}}
 	if maxPage == 0 || !maxPage.Valid() {
 		maxPage = v.Pol.MaxPage
@@ -352,6 +387,7 @@ func (as *AddrSpace) demandPopulate(v *VMA, end int64, maxPage hw.PageSize) Touc
 		return res // fully backed upfront
 	}
 	need := end - v.Populated
+	counting := as.sink.Counting()
 
 	// Demand paging allocates at most page-size granules on each fault;
 	// page size choice follows the policy but degrades as domains fill.
@@ -372,11 +408,18 @@ func (as *AddrSpace) demandPopulate(v *VMA, end int64, maxPage hw.PageSize) Touc
 				pages = 1 // final partial page
 			}
 			exts, n := as.phys.AllocUpTo(dom, pages*granule, granule)
+			var faults int64
 			for _, e := range exts {
 				v.Backings = append(v.Backings, Backing{Ext: e, Page: p})
-				faults := e.Size / granule
-				res.Faults += faults
+				faults += e.Size / granule
 				res.PerDomain[dom] += e.Size
+			}
+			res.Faults += faults
+			if counting {
+				as.notePlacement(v.Pol, dom, n)
+				if faulting && faults > 0 {
+					as.sink.Count("mem.fault."+p.String(), faults)
+				}
 			}
 			v.Populated += n
 			res.BytesPopulated += n

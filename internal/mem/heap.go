@@ -104,9 +104,11 @@ func NewLinuxHeap(as *AddrSpace, maxSize int64, domains []int, thp bool) (*Linux
 // Sbrk implements Heap.
 func (h *LinuxHeap) Sbrk(delta int64) (int64, Work, error) {
 	w := Work{SyscallIssued: true}
+	sink := h.as.Sink()
 	switch {
 	case delta == 0:
 		h.st.Queries++
+		sink.Count("heap.queries", 1)
 	case delta > 0:
 		if h.size+delta > h.vma.Size {
 			return h.size, w, fmt.Errorf("mem: heap limit exceeded (%d + %d > %d)", h.size, delta, h.vma.Size)
@@ -118,8 +120,11 @@ func (h *LinuxHeap) Sbrk(delta int64) (int64, Work, error) {
 		h.size += delta
 		h.st.Grows++
 		h.st.GrownBytes += delta
+		sink.Count("heap.grows", 1)
+		sink.Count("heap.grown_bytes", delta)
 		if h.size > h.st.Peak {
 			h.st.Peak = h.size
+			sink.CountMax("heap.peak_bytes", h.size)
 		}
 		// No physical work: population is deferred to first touch.
 	default:
@@ -133,6 +138,8 @@ func (h *LinuxHeap) Sbrk(delta int64) (int64, Work, error) {
 		freed := h.as.Trim(h.vma, h.size)
 		h.st.ShrunkBytes += freed
 		w.FreedBytes += freed
+		sink.Count("heap.shrinks", 1)
+		sink.Count("heap.shrunk_bytes", freed)
 		// Truncate growth segments to the new break; regrowth will
 		// start a fresh (likely unaligned) segment.
 		for len(h.segs) > 0 {
@@ -194,6 +201,10 @@ func (h *LinuxHeap) TouchUpTo(limit int64) Work {
 	}
 	h.st.Faults += w.Faults
 	h.st.ZeroedBytes += w.ZeroedBytes
+	if sink := h.as.Sink(); sink.Counting() && (w.Faults > 0 || w.ZeroedBytes > 0) {
+		sink.Count("heap.faults", w.Faults)
+		sink.Count("heap.zeroed_bytes", w.ZeroedBytes)
+	}
 	return w
 }
 
@@ -269,12 +280,16 @@ func NewHPCHeap(as *AddrSpace, maxSize int64, cfg HPCHeapConfig) (*HPCHeap, erro
 // Sbrk implements Heap.
 func (h *HPCHeap) Sbrk(delta int64) (int64, Work, error) {
 	w := Work{SyscallIssued: true}
+	sink := h.as.Sink()
 	switch {
 	case delta == 0:
 		h.st.Queries++
+		sink.Count("heap.queries", 1)
 	case delta > 0:
 		h.st.Grows++
 		h.st.GrownBytes += delta
+		sink.Count("heap.grows", 1)
+		sink.Count("heap.grown_bytes", delta)
 		newSize := h.size + delta
 		if newSize > h.vma.Size {
 			return h.size, w, fmt.Errorf("mem: heap limit exceeded (%d > %d)", newSize, h.vma.Size)
@@ -310,13 +325,16 @@ func (h *HPCHeap) Sbrk(delta int64) (int64, Work, error) {
 				w.ZeroedBytes += grown
 			}
 			h.st.ZeroedBytes += w.ZeroedBytes
+			sink.Count("heap.zeroed_bytes", w.ZeroedBytes)
 		}
 		h.size = newSize
 		if h.size > h.st.Peak {
 			h.st.Peak = h.size
+			sink.CountMax("heap.peak_bytes", h.size)
 		}
 	default:
 		h.st.Shrinks++
+		sink.Count("heap.shrinks", 1)
 		shrink := -delta
 		if shrink > h.size {
 			shrink = h.size
@@ -332,6 +350,7 @@ func (h *HPCHeap) Sbrk(delta int64) (int64, Work, error) {
 			h.reserved -= freed
 			h.st.ShrunkBytes += freed
 			w.FreedBytes += freed
+			sink.Count("heap.shrunk_bytes", freed)
 		}
 	}
 	return h.size, w, nil

@@ -17,6 +17,7 @@ import (
 	"mklite/internal/ihk"
 	"mklite/internal/kernel"
 	"mklite/internal/sim"
+	"mklite/internal/trace"
 )
 
 // Config describes one node-level run.
@@ -39,6 +40,10 @@ type Config struct {
 	Barrier bool
 	// Seed drives the noise sampling.
 	Seed uint64
+	// Sink receives mechanism counters and virtual-time events (per-rank
+	// compute spans, step marks, the offload queue-depth timeline). Nil
+	// turns tracing off; results are identical either way.
+	Sink *trace.Sink
 }
 
 // Result is a node-level run's outcome.
@@ -95,9 +100,11 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	eng := sim.NewEngine(cfg.Seed)
+	eng.SetSink(cfg.Sink)
 	rootRNG := eng.RNG().Split()
 	costs := cfg.Kern.Costs()
 	prof := cfg.Kern.Noise()
+	sink := cfg.Sink
 
 	// Offloads are serviced by the partition's OS cores. Native-syscall
 	// kernels (Linux) execute locally instead.
@@ -124,13 +131,20 @@ func Run(cfg Config) (Result, error) {
 		core := part.AppCores[r]
 		rng := rootRNG.Split()
 		eng.Spawn(fmt.Sprintf("rank-%d", r), func(p *sim.Proc) {
+			tid := int32(r)
 			for step := 0; step < cfg.Steps; step++ {
 				// Compute, stretched by this core's noise.
-				detour := prof.DetourIn(rng, core, cfg.ComputePerStep)
+				detour := prof.DetourInTo(rng, core, cfg.ComputePerStep, sink)
 				res.NoiseTotal += detour
+				sink.Count("nodesim.noise_ns", int64(detour))
+				sink.Begin(int64(p.Now()), 0, tid, "compute", "nodesim")
 				p.Sleep(cfg.ComputePerStep + detour)
+				sink.End(int64(p.Now()), 0, tid, "compute", "nodesim")
 
 				// Device syscalls.
+				if cfg.SyscallsPerStep > 0 {
+					sink.Begin(int64(p.Now()), 0, tid, "syscalls", "nodesim")
+				}
 				for s := 0; s < cfg.SyscallsPerStep; s++ {
 					start := p.Now()
 					if offloaded {
@@ -143,13 +157,19 @@ func Run(cfg Config) (Result, error) {
 					}
 					if d := sim.Duration(p.Now() - start); d > res.MaxOffloadLatency {
 						res.MaxOffloadLatency = d
+						sink.CountMax("nodesim.max_offload_latency_ns", int64(d))
 					}
+				}
+				if cfg.SyscallsPerStep > 0 {
+					sink.End(int64(p.Now()), 0, tid, "syscalls", "nodesim")
 				}
 
 				if cfg.Barrier {
 					bar.wait(p)
 					if r == 0 {
 						res.StepEnds = append(res.StepEnds, p.Now())
+						sink.Instant(int64(p.Now()), 0, tid, "step-barrier", "nodesim",
+							map[string]int64{"step": int64(step)})
 					}
 				}
 			}

@@ -3,6 +3,7 @@ package noise
 import (
 	"mklite/internal/sim"
 	"mklite/internal/stats"
+	"mklite/internal/trace"
 )
 
 // FWQResult holds the samples of a fixed-work-quantum run: the virtual time
@@ -16,10 +17,20 @@ type FWQResult struct {
 // loop whose pure compute time is quantum, on the given core under the
 // given noise profile. Interference stretches individual iterations.
 func RunFWQ(rng *sim.RNG, p *Profile, core int, quantum sim.Duration, iters int) FWQResult {
+	return RunFWQTo(rng, p, core, quantum, iters, nil)
+}
+
+// RunFWQTo is RunFWQ with per-source detour attribution into a trace sink
+// (nil sink = exactly RunFWQ, same draws, same samples).
+func RunFWQTo(rng *sim.RNG, p *Profile, core int, quantum sim.Duration, iters int, sink *trace.Sink) FWQResult {
 	res := FWQResult{Quantum: quantum, Samples: make([]float64, iters)}
 	for i := 0; i < iters; i++ {
-		d := quantum + p.DetourIn(rng, core, quantum)
-		res.Samples[i] = d.Micros()
+		detour := p.DetourInTo(rng, core, quantum, sink)
+		if detour > 0 {
+			sink.Count("noise.detoured_iters", 1)
+		}
+		sink.Count("noise.detour_ns", int64(detour))
+		res.Samples[i] = (quantum + detour).Micros()
 	}
 	return res
 }

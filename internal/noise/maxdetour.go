@@ -24,26 +24,39 @@ const exactMaxRanks = 1024
 // samples. Per-source maxima are summed, a slight over-estimate of the true
 // max-of-sums that is conservative in the same direction for every kernel.
 func MaxDetour(rng *sim.RNG, p *Profile, ranks int, window sim.Duration) sim.Duration {
+	d, _ := MaxDetourRank(rng, p, ranks, window)
+	return d
+}
+
+// MaxDetourRank is MaxDetour that also reports which rank contributed the
+// maximum — the straggler a collective waited for. On the exact per-rank
+// path the argmax is known; on the order-statistic path individual ranks are
+// never materialised, so the rank is -1 (source-level attribution only).
+// The sampling sequence is identical to MaxDetour's, so callers may switch
+// between them without perturbing the run.
+func MaxDetourRank(rng *sim.RNG, p *Profile, ranks int, window sim.Duration) (sim.Duration, int) {
 	if ranks <= 0 || window <= 0 {
-		return 0
+		return 0, -1
 	}
 	if ranks <= exactMaxRanks {
 		var max sim.Duration
+		argmax := -1
 		for r := 0; r < ranks; r++ {
 			// Core index 1: a generic application core (core 0 is
 			// partitioned away from applications in all three
 			// kernels' deployments).
 			if d := p.DetourIn(rng, 1, window); d > max {
 				max = d
+				argmax = r
 			}
 		}
-		return max
+		return max, argmax
 	}
 	var total sim.Duration
 	for i := range p.Sources {
 		total += sourceMax(rng, &p.Sources[i], ranks, window)
 	}
-	return total
+	return total, -1
 }
 
 // sourceMax approximates the maximum single-rank detour from one source

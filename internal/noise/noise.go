@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"mklite/internal/sim"
+	"mklite/internal/trace"
 )
 
 // Source is one recurring interference source on a set of cores.
@@ -135,9 +136,22 @@ type Profile struct {
 
 // DetourIn samples the total interference on one core during a window.
 func (p *Profile) DetourIn(rng *sim.RNG, core int, window sim.Duration) sim.Duration {
+	return p.DetourInTo(rng, core, window, nil)
+}
+
+// DetourInTo is DetourIn with per-source attribution into a trace sink: each
+// source that fires contributes to "noise.src.<name>_ns". The sampling
+// sequence is identical with and without a sink — the sink only observes —
+// so attaching one cannot perturb the run.
+func (p *Profile) DetourInTo(rng *sim.RNG, core int, window sim.Duration, sink *trace.Sink) sim.Duration {
+	counting := sink.Counting()
 	var total sim.Duration
 	for i := range p.Sources {
-		total += p.Sources[i].SampleWindow(rng, core, window)
+		d := p.Sources[i].SampleWindow(rng, core, window)
+		if counting && d > 0 {
+			sink.Count("noise.src."+p.Sources[i].Name+"_ns", int64(d))
+		}
+		total += d
 	}
 	return total
 }

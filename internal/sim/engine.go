@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"mklite/internal/trace"
 )
 
 // Event is a unit of scheduled work: a function that executes at a point in
@@ -71,6 +73,12 @@ type Engine struct {
 
 	procs   map[*Proc]struct{}
 	yieldCh chan struct{} // proc -> engine: "I have blocked or finished"
+
+	// sink is the run's trace destination; subsystems built on the engine
+	// (ihk, nodesim) key their events to the engine clock. Nil when
+	// tracing is off. The sink is passive: it never draws from the
+	// engine's RNG and never schedules events.
+	sink *trace.Sink
 }
 
 // NewEngine returns an engine with its clock at zero, drawing randomness
@@ -89,6 +97,12 @@ func (e *Engine) Now() Time { return e.now }
 // RNG returns the engine's root random stream. Subsystems should Split it
 // rather than sharing it so that adding a consumer does not perturb others.
 func (e *Engine) RNG() *RNG { return e.rng }
+
+// SetSink attaches a per-run trace sink (nil turns tracing off).
+func (e *Engine) SetSink(s *trace.Sink) { e.sink = s }
+
+// Sink returns the attached trace sink; nil means tracing is off.
+func (e *Engine) Sink() *trace.Sink { return e.sink }
 
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }

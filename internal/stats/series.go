@@ -88,6 +88,13 @@ type Figure struct {
 	ID     string // e.g. "fig4", "fig5a"
 	Title  string
 	Series []*Series
+
+	// Counters carries the merged mechanism counters of the runs behind
+	// the figure (counter provenance; set when the experiment ran with
+	// counters enabled). Render deliberately ignores it so figure bytes
+	// — and therefore the determinism digests — are identical with and
+	// without counting.
+	Counters map[string]int64
 }
 
 // Get returns the series with the given name, or nil.

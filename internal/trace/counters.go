@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"maps"
+	"slices"
+	"strings"
+)
+
+// CountersSchema versions the counter file format and the key namespace.
+// Bump when a key is renamed or its meaning changes; mktrace -diff refuses
+// to compare files with different schemas.
+const CountersSchema = "mklite-counters/v1"
+
+// Counters is the aggregating backend: a flat map of monotonic mechanism
+// counts keyed by dotted names ("heap.grows", "syscall.brk",
+// "mem.fault.4KiB", "offload.rtt_ns"). Exports are always sorted by key so
+// counter output is byte-stable. Not safe for concurrent use: one Counters
+// per run, merged after the par fan-out joins.
+type Counters struct {
+	m map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: map[string]int64{}}
+}
+
+// Add accumulates delta into the named counter.
+func (c *Counters) Add(name string, delta int64) { c.m[name] += delta }
+
+// Max raises the named counter to v if v exceeds the current value. Used for
+// peak-style counters ("heap.peak_bytes") that are maxima, not sums.
+func (c *Counters) Max(name string, v int64) {
+	if v > c.m[name] {
+		c.m[name] = v
+	}
+}
+
+// Get returns the named counter (0 when absent).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Len returns the number of distinct counters.
+func (c *Counters) Len() int { return len(c.m) }
+
+// Names returns the counter names sorted.
+func (c *Counters) Names() []string { return slices.Sorted(maps.Keys(c.m)) }
+
+// Map returns a copy of the counters.
+func (c *Counters) Map() map[string]int64 {
+	if len(c.m) == 0 {
+		return nil
+	}
+	return maps.Clone(c.m)
+}
+
+// Merge adds every counter of o into c. Merging is commutative for Add-style
+// counters; callers that mix in Max-style counters should merge in a fixed
+// (index) order anyway, which par's ordered results provide for free.
+func (c *Counters) Merge(o *Counters) {
+	if o == nil {
+		return
+	}
+	for _, k := range o.Names() {
+		c.m[k] += o.m[k]
+	}
+}
+
+// MergeMap adds a plain counter map (e.g. a facade Result.Counters) into c.
+func (c *Counters) MergeMap(m map[string]int64) {
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		c.m[k] += m[k]
+	}
+}
+
+// counterFile is the on-disk shape of a counter dump.
+type counterFile struct {
+	Schema   string           `json:"schema"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// WriteJSON writes the schema-versioned counter dump. encoding/json sorts
+// map keys, so the bytes are deterministic.
+func (c *Counters) WriteJSON(w io.Writer) error {
+	out, err := json.MarshalIndent(counterFile{Schema: CountersSchema, Counters: c.m}, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}
+
+// ReadCounters parses a dump produced by WriteJSON, checking the schema.
+func ReadCounters(data []byte) (map[string]int64, error) {
+	var f counterFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("trace: parsing counter file: %w", err)
+	}
+	if f.Schema != CountersSchema {
+		return nil, fmt.Errorf("trace: counter schema %q, want %q", f.Schema, CountersSchema)
+	}
+	return f.Counters, nil
+}
+
+// CounterDiff is one row of a counter comparison.
+type CounterDiff struct {
+	Name     string
+	Old, New int64
+}
+
+// Delta returns New - Old.
+func (d CounterDiff) Delta() int64 { return d.New - d.Old }
+
+// DiffCounters returns the rows whose values differ between old and new,
+// sorted by name. Keys present on only one side diff against zero.
+func DiffCounters(oldC, newC map[string]int64) []CounterDiff {
+	keys := map[string]struct{}{}
+	for _, k := range slices.Sorted(maps.Keys(oldC)) {
+		keys[k] = struct{}{}
+	}
+	for _, k := range slices.Sorted(maps.Keys(newC)) {
+		keys[k] = struct{}{}
+	}
+	var rows []CounterDiff
+	for _, k := range slices.Sorted(maps.Keys(keys)) {
+		if oldC[k] != newC[k] {
+			rows = append(rows, CounterDiff{Name: k, Old: oldC[k], New: newC[k]})
+		}
+	}
+	return rows
+}
+
+// FormatCounters renders a counter map as aligned "name value" lines sorted
+// by name — the human-readable summary mktrace and the -counters flags
+// print.
+func FormatCounters(m map[string]int64) string {
+	var b strings.Builder
+	width := 0
+	names := slices.Sorted(maps.Keys(m))
+	for _, k := range names {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-*s %d\n", width, k, m[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"maps"
+	"slices"
+)
+
+// Event phases, a subset of the Chrome trace-event format.
+const (
+	PhBegin   = 'B' // duration span open
+	PhEnd     = 'E' // duration span close
+	PhInstant = 'i' // point event
+	PhCounter = 'C' // counter sample
+)
+
+// EventsSchema versions the exported trace JSON.
+const EventsSchema = "mklite-trace/v1"
+
+// DefaultEventCap bounds the ring when the caller does not choose a size.
+const DefaultEventCap = 1 << 17
+
+// Event is one trace record. TS is virtual nanoseconds (sim.Time's unit);
+// export converts to the microsecond floats Chrome/Perfetto expect.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   byte
+	TS   int64
+	Pid  int32
+	Tid  int32
+	Args map[string]int64
+}
+
+// Events is the bounded-ring backend: it retains the most recent cap events
+// and counts what it evicted. Like Sink it is per-run, single-goroutine
+// state.
+type Events struct {
+	cap     int
+	buf     []Event
+	start   int // index of the oldest retained event
+	dropped int64
+}
+
+// NewEvents returns a ring holding at most cap events (DefaultEventCap when
+// cap <= 0).
+func NewEvents(cap int) *Events {
+	if cap <= 0 {
+		cap = DefaultEventCap
+	}
+	return &Events{cap: cap}
+}
+
+// Emit appends an event, evicting the oldest when full.
+func (e *Events) Emit(ev Event) {
+	if len(e.buf) < e.cap {
+		e.buf = append(e.buf, ev)
+		return
+	}
+	e.buf[e.start] = ev
+	e.start = (e.start + 1) % e.cap
+	e.dropped++
+}
+
+// Len returns the number of retained events.
+func (e *Events) Len() int { return len(e.buf) }
+
+// Dropped returns the number of evicted events.
+func (e *Events) Dropped() int64 { return e.dropped }
+
+// Snapshot returns the retained events in emission order.
+func (e *Events) Snapshot() []Event {
+	out := make([]Event, 0, len(e.buf))
+	out = append(out, e.buf[e.start:]...)
+	out = append(out, e.buf[:e.start]...)
+	return out
+}
+
+// CounterSample is one point of a counter-event series.
+type CounterSample struct {
+	TS    int64 // virtual nanoseconds
+	Value int64
+}
+
+// CounterSeries extracts the samples of one 'C' series in emission order —
+// e.g. the offload queue-depth timeline the offloadstorm example prints.
+func (e *Events) CounterSeries(name string) []CounterSample {
+	var out []CounterSample
+	for _, ev := range e.Snapshot() {
+		if ev.Ph == PhCounter && ev.Name == name {
+			out = append(out, CounterSample{TS: ev.TS, Value: ev.Args["value"]})
+		}
+	}
+	return out
+}
+
+// JSON renders the ring as Chrome trace-event JSON ("JSON object format").
+// Timestamps become microsecond floats with nanosecond precision; args keys
+// are emitted sorted so the bytes are deterministic. The otherData block
+// carries the schema id and the eviction count that Validate uses to decide
+// whether unbalanced spans are tolerable.
+func (e *Events) JSON() []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"traceEvents":[`)
+	for i, ev := range e.Snapshot() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"name":%q,"cat":%q,"ph":%q,"ts":%d.%03d,"pid":%d,"tid":%d`,
+			ev.Name, ev.Cat, string(ev.Ph), ev.TS/1000, ev.TS%1000, ev.Pid, ev.Tid)
+		if len(ev.Args) > 0 {
+			b.WriteString(`,"args":{`)
+			for j, k := range slices.Sorted(maps.Keys(ev.Args)) {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `%q:%d`, k, ev.Args[k])
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('}')
+	}
+	fmt.Fprintf(&b, `],"displayTimeUnit":"ns","otherData":{"schema":%q,"dropped":%d}}`,
+		EventsSchema, e.dropped)
+	b.WriteByte('\n')
+	return b.Bytes()
+}

@@ -1,0 +1,115 @@
+// Package trace is the simulator's deterministic observability layer:
+// mechanism counters and virtual-time event spans threaded through the whole
+// stack (mem, kernel, noise, ihk, cluster, nodesim).
+//
+// The design contract, in order of importance:
+//
+//  1. Tracing is passive. A sink never draws from a sim.RNG, never feeds
+//     anything back into the model, and never influences control flow.
+//     Run digests are byte-identical with tracing off, counters on, or full
+//     event tracing on — determinism_test.go enforces this.
+//  2. Sinks are per-run state. A *Sink is created next to the run's seed and
+//     carried through the run context (cluster.Job.Sink, nodesim.Config.Sink,
+//     sim.Engine.SetSink). It is never a package-level variable and never
+//     shared across internal/par worker closures — mklint's parshare
+//     analyzer rejects both.
+//  3. Off is free. The nil *Sink is the off switch: every method is
+//     nil-receiver safe and compiles to a branch, so instrumented hot paths
+//     cost ≤2% when tracing is disabled (BENCH_PR3.json tracks this on the
+//     Figure 4 smoke).
+//
+// All timestamps are virtual nanoseconds (the same int64 unit as
+// sim.Time); the package deliberately does not import sim so that sim can
+// carry a sink itself.
+package trace
+
+// Sink is one run's tracing destination. Both backends are optional: a nil
+// *Sink (or a sink with neither backend) records nothing. Sinks are not safe
+// for concurrent use — one sink per run, created inside the par closure that
+// owns the run.
+type Sink struct {
+	counters *Counters
+	events   *Events
+}
+
+// NewSink bundles the given backends. Either may be nil; if both are nil the
+// result is nil so that downstream nil-checks stay on the fast path.
+func NewSink(c *Counters, e *Events) *Sink {
+	if c == nil && e == nil {
+		return nil
+	}
+	return &Sink{counters: c, events: e}
+}
+
+// Counting reports whether a counters backend is attached. Hot loops may
+// hoist this into a local to skip per-iteration work.
+func (s *Sink) Counting() bool { return s != nil && s.counters != nil }
+
+// Eventing reports whether an events backend is attached.
+func (s *Sink) Eventing() bool { return s != nil && s.events != nil }
+
+// Counters returns the counters backend (nil when absent).
+func (s *Sink) Counters() *Counters {
+	if s == nil {
+		return nil
+	}
+	return s.counters
+}
+
+// Events returns the events backend (nil when absent).
+func (s *Sink) Events() *Events {
+	if s == nil {
+		return nil
+	}
+	return s.events
+}
+
+// Count adds delta to the named counter.
+func (s *Sink) Count(name string, delta int64) {
+	if s == nil || s.counters == nil {
+		return
+	}
+	s.counters.Add(name, delta)
+}
+
+// CountMax raises the named counter to v if v is larger (peak accounting).
+func (s *Sink) CountMax(name string, v int64) {
+	if s == nil || s.counters == nil {
+		return
+	}
+	s.counters.Max(name, v)
+}
+
+// Begin opens a duration span at virtual time ts (nanoseconds).
+func (s *Sink) Begin(ts int64, pid, tid int32, name, cat string) {
+	if s == nil || s.events == nil {
+		return
+	}
+	s.events.Emit(Event{Name: name, Cat: cat, Ph: PhBegin, TS: ts, Pid: pid, Tid: tid})
+}
+
+// End closes the most recent open span with the same name on (pid, tid).
+func (s *Sink) End(ts int64, pid, tid int32, name, cat string) {
+	if s == nil || s.events == nil {
+		return
+	}
+	s.events.Emit(Event{Name: name, Cat: cat, Ph: PhEnd, TS: ts, Pid: pid, Tid: tid})
+}
+
+// Instant records a point event with optional integer arguments.
+func (s *Sink) Instant(ts int64, pid, tid int32, name, cat string, args map[string]int64) {
+	if s == nil || s.events == nil {
+		return
+	}
+	s.events.Emit(Event{Name: name, Cat: cat, Ph: PhInstant, TS: ts, Pid: pid, Tid: tid, Args: args})
+}
+
+// CounterEvent records a Chrome 'C' sample: the named series has the given
+// value at virtual time ts. Perfetto renders these as a stepped timeline.
+func (s *Sink) CounterEvent(ts int64, pid int32, name string, value int64) {
+	if s == nil || s.events == nil {
+		return
+	}
+	s.events.Emit(Event{Name: name, Cat: "counter", Ph: PhCounter, TS: ts, Pid: pid,
+		Args: map[string]int64{"value": value}})
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"maps"
+	"slices"
+)
+
+// rawEvent mirrors the JSON shape for validation.
+type rawEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Pid  int64   `json:"pid"`
+	Tid  int64   `json:"tid"`
+}
+
+type rawTrace struct {
+	TraceEvents []rawEvent `json:"traceEvents"`
+	OtherData   struct {
+		Schema  string `json:"schema"`
+		Dropped int64  `json:"dropped"`
+	} `json:"otherData"`
+}
+
+// Validate checks that data is a well-formed Chrome trace-event JSON dump as
+// this package emits it: parseable, known phases, per-(pid,tid) monotone
+// timestamps, and balanced B/E spans with matching names. When the ring
+// dropped events the balance check is skipped (eviction can orphan spans)
+// but monotonicity still must hold. CI's trace-smoke step runs this on the
+// mktrace artifact.
+func Validate(data []byte) error {
+	var tr rawTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if tr.OtherData.Schema != EventsSchema {
+		return fmt.Errorf("trace: schema %q, want %q", tr.OtherData.Schema, EventsSchema)
+	}
+	type lane struct{ pid, tid int64 }
+	lastTS := map[lane]float64{}
+	stacks := map[lane][]string{}
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "B", "E", "i", "C":
+		default:
+			return fmt.Errorf("trace: event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("trace: event %d: empty name", i)
+		}
+		l := lane{ev.Pid, ev.Tid}
+		if prev, ok := lastTS[l]; ok && ev.TS < prev {
+			return fmt.Errorf("trace: event %d (%s): non-monotonic ts %.3f after %.3f on pid %d tid %d",
+				i, ev.Name, ev.TS, prev, ev.Pid, ev.Tid)
+		}
+		lastTS[l] = ev.TS
+		if tr.OtherData.Dropped > 0 {
+			continue // eviction can orphan B/E pairs
+		}
+		switch ev.Ph {
+		case "B":
+			stacks[l] = append(stacks[l], ev.Name)
+		case "E":
+			st := stacks[l]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: event %d: E %q with no open span on pid %d tid %d",
+					i, ev.Name, ev.Pid, ev.Tid)
+			}
+			if top := st[len(st)-1]; top != ev.Name {
+				return fmt.Errorf("trace: event %d: E %q closes open span %q on pid %d tid %d",
+					i, ev.Name, top, ev.Pid, ev.Tid)
+			}
+			stacks[l] = st[:len(st)-1]
+		}
+	}
+	if tr.OtherData.Dropped == 0 {
+		lanes := slices.SortedFunc(maps.Keys(stacks), func(a, b lane) int {
+			if a.pid != b.pid {
+				return int(a.pid - b.pid)
+			}
+			return int(a.tid - b.tid)
+		})
+		for _, l := range lanes {
+			if st := stacks[l]; len(st) > 0 {
+				return fmt.Errorf("trace: %d unclosed span(s) on pid %d tid %d (first: %q)",
+					len(st), l.pid, l.tid, st[0])
+			}
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package mklite
 
 import (
 	"fmt"
+	"strings"
 
 	"mklite/internal/hw"
 	"mklite/internal/kernel"
@@ -12,6 +13,7 @@ import (
 	"mklite/internal/noise"
 	"mklite/internal/sim"
 	"mklite/internal/stats"
+	"mklite/internal/trace"
 )
 
 // bootForType builds a default-configured kernel model on a fresh KNL node.
@@ -105,6 +107,40 @@ func MeasureNoise(seed uint64, iterations int) []NoiseSample {
 	return out
 }
 
+// NoiseSourceBreakdown attributes an FWQ run's total detour to the noise
+// sources that caused it (timer ticks, daemons, kworkers, ...): source name
+// to stolen seconds over the whole run. The attribution rides the trace
+// subsystem's counters, so the sampling sequence — and therefore every
+// NoiseSample metric — is identical to MeasureNoise at the same seed.
+func NoiseSourceBreakdown(k Kernel, seed uint64, iterations int) (map[string]float64, error) {
+	if iterations <= 0 {
+		iterations = 5000
+	}
+	var p *noise.Profile
+	switch k {
+	case Linux:
+		p = noise.LinuxTuned()
+	case McKernel:
+		p = noise.McKernelProfile()
+	case MOS:
+		p = noise.MOSProfile()
+	default:
+		return nil, fmt.Errorf("mklite: unknown kernel %q", string(k))
+	}
+	ctrs := trace.NewCounters()
+	noise.RunFWQTo(sim.NewRNG(seed), p, 1, sim.Millisecond, iterations, trace.NewSink(ctrs, nil))
+	out := map[string]float64{}
+	for _, name := range ctrs.Names() {
+		src, ok := strings.CutPrefix(name, "noise.src.")
+		if !ok {
+			continue
+		}
+		src = strings.TrimSuffix(src, "_ns")
+		out[src] = sim.Duration(ctrs.Get(name)).Seconds()
+	}
+	return out, nil
+}
+
 // NodeSimConfig configures a discrete-event single-node simulation (see
 // internal/nodesim): every rank is a process on its own core, noise
 // stretches compute, offloaded syscalls queue on the OS cores, and an
@@ -117,6 +153,16 @@ type NodeSimConfig struct {
 	SyscallServiceSecs float64
 	Barrier            bool
 	Seed               uint64
+	// TraceQueueDepth records the offload queue-depth timeline into
+	// NodeSimResult.QueueDepth. Purely observational: the simulated
+	// outcome is identical with or without it.
+	TraceQueueDepth bool
+}
+
+// CounterSample is one point of a virtual-time counter timeline.
+type CounterSample struct {
+	TimeSeconds float64
+	Value       int64
 }
 
 // NodeSimResult is the node simulation outcome.
@@ -127,6 +173,10 @@ type NodeSimResult struct {
 	OffloadsServiced     int
 	MaxOffloadLatencySec float64
 	NoiseTotalSeconds    float64
+	// QueueDepth is the offload queue-depth timeline (one sample per
+	// enqueue/dequeue) when TraceQueueDepth was set: the burst-and-drain
+	// shape the analytic model folds away.
+	QueueDepth []CounterSample
 }
 
 // SimulateNode runs the discrete-event node model on the given kernel —
@@ -151,18 +201,32 @@ func SimulateNode(k Kernel, cfg NodeSimConfig) (NodeSimResult, error) {
 		Barrier:         cfg.Barrier,
 		Seed:            cfg.Seed,
 	}
+	var evs *trace.Events
+	if cfg.TraceQueueDepth {
+		evs = trace.NewEvents(0)
+		nc.Sink = trace.NewSink(nil, evs)
+	}
 	res, err := nodesim.Run(nc)
 	if err != nil {
 		return NodeSimResult{}, err
 	}
-	return NodeSimResult{
+	out := NodeSimResult{
 		Kernel:               kern.Name(),
 		ElapsedSeconds:       res.Elapsed.Seconds(),
 		AnalyticSeconds:      nodesim.AnalyticEstimate(nc).Seconds(),
 		OffloadsServiced:     res.OffloadsServiced,
 		MaxOffloadLatencySec: res.MaxOffloadLatency.Seconds(),
 		NoiseTotalSeconds:    res.NoiseTotal.Seconds(),
-	}, nil
+	}
+	if evs != nil {
+		for _, s := range evs.CounterSeries("offload.queue_depth") {
+			out.QueueDepth = append(out.QueueDepth, CounterSample{
+				TimeSeconds: sim.Duration(s.TS).Seconds(),
+				Value:       s.Value,
+			})
+		}
+	}
+	return out, nil
 }
 
 // UtilizationSample holds an FTQ (fixed time quanta) measurement: the

@@ -31,6 +31,7 @@ import (
 	"mklite/internal/kernel"
 	"mklite/internal/mckernel"
 	"mklite/internal/mos"
+	"mklite/internal/trace"
 )
 
 // Kernel selects one of the three modelled operating systems.
@@ -88,6 +89,18 @@ type Options struct {
 	Quadrant bool
 	// Trace records a per-timestep breakdown into Result.StepTrace.
 	Trace bool
+	// Counters attaches a mechanism-counter sink to the run; the
+	// aggregated counts land in Result.Counters. Counting changes no
+	// simulated outcome — every other Result field is byte-identical
+	// with or without it.
+	Counters bool
+	// Events records the run's virtual-time event timeline (bounded
+	// ring); Result.TraceJSON holds the Chrome trace-event export.
+	Events bool
+	// EventCap bounds the event ring (0 = trace.DefaultEventCap). When
+	// the ring overflows, the oldest events are evicted and the export
+	// notes the count.
+	EventCap int
 }
 
 // StepTrace is one timestep's attribution, in seconds.
@@ -161,6 +174,15 @@ type Result struct {
 	// StepTrace holds the per-timestep attribution when Options.Trace
 	// was set.
 	StepTrace []StepTrace
+
+	// Counters holds the run's mechanism counters when Options.Counters
+	// was set (sorted on export; see docs/TRACING.md for the key
+	// namespace).
+	Counters map[string]int64 `json:"Counters,omitempty"`
+	// TraceJSON holds the Chrome trace-event export when Options.Events
+	// was set. Excluded from JSON marshalling — it is a document of its
+	// own, not a field; write it to a .trace.json file instead.
+	TraceJSON []byte `json:"-"`
 }
 
 func toJob(appName string, k Kernel, nodes int, seed uint64, opts *Options) (cluster.Job, error) {
@@ -204,11 +226,22 @@ func Run(appName string, k Kernel, nodes int, seed uint64, opts *Options) (Resul
 	if err != nil {
 		return Result{}, err
 	}
+	var ctrs *trace.Counters
+	var evs *trace.Events
+	if opts != nil {
+		if opts.Counters {
+			ctrs = trace.NewCounters()
+		}
+		if opts.Events {
+			evs = trace.NewEvents(opts.EventCap)
+		}
+		job.Sink = trace.NewSink(ctrs, evs)
+	}
 	res, err := cluster.Run(job)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	out := Result{
 		App:            res.App,
 		Kernel:         res.Kernel,
 		Nodes:          res.Nodes,
@@ -234,7 +267,14 @@ func Run(appName string, k Kernel, nodes int, seed uint64, opts *Options) (Resul
 		MCDRAMBytes:    res.MCDRAMBytes,
 		DemandRanks:    res.DemandRanks,
 		StepTrace:      stepTrace(res.Steps),
-	}, nil
+	}
+	if ctrs != nil {
+		out.Counters = ctrs.Map()
+	}
+	if evs != nil {
+		out.TraceJSON = evs.JSON()
+	}
+	return out, nil
 }
 
 func stepTrace(steps []cluster.StepRecord) []StepTrace {
@@ -254,6 +294,11 @@ func stepTrace(steps []cluster.StepRecord) []StepTrace {
 	}
 	return out
 }
+
+// FormatCounters renders a counter map as aligned "name value" lines,
+// sorted by counter name — the human-readable form of Result.Counters and
+// Figure.Counters.
+func FormatCounters(m map[string]int64) string { return trace.FormatCounters(m) }
 
 // Compare runs the application on all three kernels with the same seed.
 func Compare(appName string, nodes int, seed uint64, opts *Options) ([]Result, error) {
