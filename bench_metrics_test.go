@@ -1,0 +1,20 @@
+package mklite
+
+// Metrics-overhead smoke for the internal/metrics registry, measured
+// best-of-N via bench_util_test.go into BENCH_PR4.json. With -metrics off
+// the observer is nil and every Observe site is the same single pointer
+// test the trace sink already pays (covered by the "sequential" and
+// "trace-off" modes); this file measures the registry attached — counters
+// plus histogram/phase/gauge recording — as "metrics_overhead_percent".
+// Digest equality with the registry on or off is proven separately by
+// determinism_test.go; this file only measures time.
+
+import "testing"
+
+// BenchmarkFigure4Metrics runs the Figure 4 quick sweep with a metrics
+// registry attached to every repetition: log-bucketed histograms on the
+// fault/offload/noise/collective paths, per-phase timers and gauges.
+func BenchmarkFigure4Metrics(b *testing.B) {
+	benchFigure4Overhead(b, "metrics", "metrics_overhead_percent",
+		func(cfg *ExperimentConfig) { cfg.Metrics = true })
+}

@@ -5,82 +5,24 @@ package mklite
 //	go test -bench=Figure4 -benchtime=1x
 //
 // which executes BenchmarkFigure4 (the headline-metric benchmark in
-// bench_test.go) plus the two benchmarks below; these emit BENCH_PR2.json
-// with the measured wall clock per mode so the speedup on a multi-core
-// runner is recorded as a build artifact. The output bytes are already
-// proven identical across widths by determinism_test.go; this file only
-// measures time. (Test files are exempt from mklint, so reading the wall
-// clock here does not violate the nowalltime contract — the simulation
-// itself never does.)
+// bench_test.go) plus the benchmarks below; through the shared recorder in
+// bench_util_test.go they emit BENCH_PR4.json with the best-of-N wall
+// clock per mode, so the speedup on a multi-core runner is recorded as a
+// build artifact. The output bytes are already proven identical across
+// widths by determinism_test.go; this file only measures time.
 
-import (
-	"encoding/json"
-	"os"
-	"runtime"
-	"sync"
-	"testing"
-)
-
-// benchPR2 accumulates results across the benchmarks in this file and
-// rewrites BENCH_PR2.json after each one, so the artifact exists however
-// many of them the -bench filter selects.
-var benchPR2 struct {
-	mu       sync.Mutex
-	Figure   string             `json:"figure"`
-	Maxprocs int                `json:"gomaxprocs"`
-	Seconds  map[string]float64 `json:"wall_clock_seconds"`
-	Speedup  float64            `json:"speedup,omitempty"`
-}
-
-func recordBenchPR2(b *testing.B, mode string, seconds float64) {
-	benchPR2.mu.Lock()
-	defer benchPR2.mu.Unlock()
-	benchPR2.Figure = "figure4-quick"
-	benchPR2.Maxprocs = runtime.GOMAXPROCS(0)
-	if benchPR2.Seconds == nil {
-		benchPR2.Seconds = map[string]float64{}
-	}
-	benchPR2.Seconds[mode] = seconds
-	seq, par := benchPR2.Seconds["sequential"], benchPR2.Seconds["parallel"]
-	if seq > 0 && par > 0 {
-		benchPR2.Speedup = seq / par
-	}
-	out, err := json.MarshalIndent(&benchPR2, "", "  ")
-	if err != nil {
-		b.Fatalf("marshal BENCH_PR2: %v", err)
-	}
-	if err := os.WriteFile("BENCH_PR2.json", append(out, '\n'), 0o644); err != nil {
-		b.Fatalf("write BENCH_PR2.json: %v", err)
-	}
-}
-
-func benchFigure4Workers(b *testing.B, mode string, workers int) {
-	b.Helper()
-	cfg := benchCfg()
-	cfg.Workers = workers
-	for i := 0; i < b.N; i++ {
-		figs, _, err := ReproduceFigure4(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(figs) != 8 {
-			b.Fatal("figure count")
-		}
-	}
-	secs := b.Elapsed().Seconds() / float64(b.N)
-	b.ReportMetric(secs, "wall-s/op")
-	recordBenchPR2(b, mode, secs)
-}
+import "testing"
 
 // BenchmarkFigure4Sequential pins the fan-out width to 1: the pure
-// sequential path with zero goroutines, the pre-par baseline.
+// sequential path with zero goroutines, the baseline every overhead
+// percentage in BENCH_PR4.json is computed against.
 func BenchmarkFigure4Sequential(b *testing.B) {
-	benchFigure4Workers(b, "sequential", 1)
+	benchFigure4Mode(b, "sequential", nil)
 }
 
 // BenchmarkFigure4Parallel uses the production default width (GOMAXPROCS).
-// On the 4-core CI runner this is expected to be >=2x faster than the
-// sequential baseline with byte-identical output.
+// On a multi-core runner this is expected to beat the sequential baseline
+// with byte-identical output; "parallel_speedup" records by how much.
 func BenchmarkFigure4Parallel(b *testing.B) {
-	benchFigure4Workers(b, "parallel", 0)
+	benchFigure4Mode(b, "parallel", func(cfg *ExperimentConfig) { cfg.Workers = 0 })
 }

@@ -1,0 +1,139 @@
+// Command mkbench judges wall-clock benchmark artifacts. It is the CI
+// bench-regression gate: the bench smoke tests emit BENCH_PR4.json
+// ("mklite-bench/v1", best-of-N seconds per mode with rep count and
+// spread), and mkbench compares a fresh measurement against the
+// checked-in baseline with tolerance bands widened by both runs'
+// recorded spreads — scheduler noise is not a regression.
+//
+// Usage:
+//
+//	mkbench compare baseline.json current.json
+//	mkbench compare -tol 25 -tolpp 5 baseline.json current.json
+//	mkbench compare -budget counters_overhead_percent=5 baseline.json current.json
+//	mkbench show BENCH_PR4.json
+//
+// compare exits 1 when a mode slowed beyond its band, a derived
+// "*_percent" overhead grew beyond -tolpp percentage points, a speedup
+// shrank beyond -tol percent, or a -budget ceiling is exceeded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mklite/internal/benchfmt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "compare":
+		compare(os.Args[2:])
+	case "show":
+		show(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mkbench: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  mkbench compare [-tol pct] [-tolpp points] [-budget name=max]... baseline.json current.json
+  mkbench show file.json
+`)
+	os.Exit(2)
+}
+
+// budgets collects repeated -budget name=max flags.
+type budgets []struct {
+	name string
+	max  float64
+}
+
+func (bs *budgets) String() string { return fmt.Sprintf("%d budgets", len(*bs)) }
+
+func (bs *budgets) Set(v string) error {
+	name, maxStr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("budget %q: want name=max", v)
+	}
+	max, err := strconv.ParseFloat(maxStr, 64)
+	if err != nil {
+		return fmt.Errorf("budget %q: %w", v, err)
+	}
+	*bs = append(*bs, struct {
+		name string
+		max  float64
+	}{name, max})
+	return nil
+}
+
+func compare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 25, "relative tolerance in percent for mode seconds and speedups (widened per mode by both runs' recorded spreads)")
+	tolPP := fs.Float64("tolpp", 5, "tolerance in percentage points for derived *_percent metrics")
+	var buds budgets
+	fs.Var(&buds, "budget", "absolute ceiling on a derived metric of the current file, name=max (repeatable)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("compare needs a baseline and a current file, got %d args", fs.NArg()))
+	}
+	oldF, newF := read(fs.Arg(0)), read(fs.Arg(1))
+
+	res := benchfmt.Compare(oldF, newF, *tol, *tolPP)
+	fmt.Printf("mkbench compare: %s vs %s (tol %.0f%%, %.0fpp)\n", fs.Arg(0), fs.Arg(1), *tol, *tolPP)
+	fmt.Print(res.Report)
+
+	failures := res.Regressions
+	for _, bud := range buds {
+		if msg := newF.CheckBudget(bud.name, bud.max); msg != "" {
+			failures = append(failures, msg)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Println("\nFAIL:")
+		for _, f := range failures {
+			fmt.Println("  " + f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nPASS: no regressions beyond tolerance")
+}
+
+func show(args []string) {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("show needs exactly one file, got %d args", fs.NArg()))
+	}
+	f := read(fs.Arg(0))
+	// A self-comparison renders every row with zero deltas — one table
+	// formatter for both subcommands.
+	fmt.Printf("%s: %s, GOMAXPROCS=%d\n", fs.Arg(0), f.Figure, f.Maxprocs)
+	fmt.Print(benchfmt.Compare(f, f, 100, 100).Report)
+}
+
+func read(path string) *benchfmt.File {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := benchfmt.Read(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkbench:", err)
+	os.Exit(1)
+}

@@ -28,10 +28,11 @@ func main() {
 		only     = flag.String("only", "", "comma-separated artifact subset")
 		workers  = flag.Int("workers", 0, "parallel fan-out width over independent runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any width")
 		counters = flag.Bool("counters", false, "aggregate and print mechanism counters per figure")
+		metricsF = flag.Bool("metrics", false, "aggregate and print the metrics profile (phases, latency histograms) per figure")
 	)
 	flag.Parse()
 
-	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers, Counters: *counters}
+	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers, Counters: *counters, Metrics: *metricsF}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
@@ -178,11 +179,14 @@ func main() {
 // printCounters renders a figure's aggregated mechanism counters (set only
 // when -counters is active).
 func printCounters(fig mklite.Figure) {
-	if len(fig.Counters) == 0 {
-		return
+	if len(fig.Counters) > 0 {
+		fmt.Printf("mechanism counters across all %s runs:\n", fig.ID)
+		fmt.Print(mklite.FormatCounters(fig.Counters))
 	}
-	fmt.Printf("mechanism counters across all %s runs:\n", fig.ID)
-	fmt.Print(mklite.FormatCounters(fig.Counters))
+	if fig.MetricsText != "" {
+		fmt.Printf("metrics profile across all %s runs:\n", fig.ID)
+		fmt.Print(fig.MetricsText)
+	}
 }
 
 func ddrNodes(cfg mklite.ExperimentConfig) int {

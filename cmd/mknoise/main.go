@@ -25,6 +25,7 @@ func main() {
 		ftq      = flag.Bool("ftq", false, "also run the fixed-time-quanta benchmark")
 		hist     = flag.Bool("hist", false, "print the FWQ sample distribution per kernel")
 		counters = flag.Bool("counters", false, "attribute the FWQ detour to its noise sources")
+		metricsF = flag.Bool("metrics", false, "print per-kernel detour latency histograms (metrics registry path)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,15 @@ func main() {
 				fmt.Printf("  %s %.6f", name, srcs[name])
 			}
 			fmt.Println()
+		}
+	}
+	if *metricsF {
+		fmt.Println("\nFWQ detour distributions (ns, detoured iterations only; p99.9/p50 is the tail fingerprint):")
+		fmt.Printf("%-10s %8s %10s %10s %10s %10s %10s %12s\n",
+			"kernel", "detours", "p50", "p90", "p99", "p99.9", "max", "p99.9/p50")
+		for _, d := range mklite.MeasureNoiseDistributions(*seed, 1e-3, *iters) {
+			fmt.Printf("%-10s %8d %10.0f %10.0f %10.0f %10.0f %10d %11.1fx\n",
+				d.Kernel, d.Count, d.P50Ns, d.P90Ns, d.P99Ns, d.P999Ns, d.MaxNs, d.TailRatio())
 		}
 	}
 	if *hist {

@@ -1,0 +1,186 @@
+// Command mkprof is the simulator's profiler front end: it records a run
+// with the metrics registry attached, renders profile reports, diffs two
+// recorded profiles, and exports virtual-time flame graphs.
+//
+// Usage:
+//
+//	mkprof record -app minife -kernel mckernel -nodes 64 -o minife.metrics.json
+//	mkprof report minife.metrics.json
+//	mkprof diff old.metrics.json new.metrics.json
+//	mkprof flame -app lulesh2.0 -kernel mos -nodes 1 -o lulesh.folded
+//	mkprof flame run.trace.json
+//
+// record can additionally capture a CPU profile of the simulator itself
+// (-cpuprofile sim.pprof) for go tool pprof — the only wall-clock-dependent
+// output mkprof has; everything else is virtual time and deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strings"
+
+	"mklite"
+	"mklite/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "report":
+		report(os.Args[2:])
+	case "diff":
+		diff(os.Args[2:])
+	case "flame":
+		flame(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mkprof: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  mkprof record -app A -kernel K -nodes N [-seed S] [-o out.metrics.json] [-cpuprofile p.pprof]
+  mkprof report file.metrics.json
+  mkprof diff old.metrics.json new.metrics.json
+  mkprof flame -app A -kernel K -nodes N [-seed S] [-o out.folded]
+  mkprof flame file.trace.json [-o out.folded]
+`)
+	os.Exit(2)
+}
+
+// runFlags declares the flags shared by record and flame.
+func runFlags(fs *flag.FlagSet) (app, kern *string, nodes *int, seed *uint64, out *string) {
+	app = fs.String("app", "minife", "application to run")
+	kern = fs.String("kernel", "mckernel", "kernel: linux, mckernel or mos")
+	nodes = fs.Int("nodes", 64, "node count")
+	seed = fs.Uint64("seed", 1, "run seed")
+	out = fs.String("o", "", "output path (default derived from app/kernel/nodes)")
+	return
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	app, kern, nodes, seed, out := runFlags(fs)
+	cpuprofile := fs.String("cpuprofile", "", "also write a Go CPU profile of the simulator to this file")
+	fs.Parse(args)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "mkprof: cpu profile: %s\n", *cpuprofile)
+		}()
+	}
+
+	res := run(*app, *kern, *nodes, *seed, &mklite.Options{Metrics: true})
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s-%d.metrics.json", res.App, *kern, *nodes)
+	}
+	if err := os.WriteFile(path, res.MetricsJSON, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s, %d nodes: FOM %.6g %s, elapsed %.6g s\n",
+		res.App, res.Kernel, res.Nodes, res.FOM, res.Unit, res.ElapsedSeconds)
+	fmt.Printf("metrics: %s (%d bytes, %s)\n", path, len(res.MetricsJSON), metrics.Schema)
+	fmt.Print(res.MetricsText)
+}
+
+func report(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("report needs exactly one metrics file, got %d args", fs.NArg()))
+	}
+	fmt.Print(readReport(fs.Arg(0)).Render())
+}
+
+func diff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("diff needs exactly two metrics files, got %d args", fs.NArg()))
+	}
+	fmt.Print(metrics.Diff(readReport(fs.Arg(0)), readReport(fs.Arg(1))))
+}
+
+func flame(args []string) {
+	fs := flag.NewFlagSet("flame", flag.ExitOnError)
+	app, kern, nodes, seed, out := runFlags(fs)
+	fs.Parse(args)
+
+	var folded, src string
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".json") {
+		// Fold an existing trace-event export.
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		folded, err = metrics.FoldedFromJSON(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", fs.Arg(0), err))
+		}
+		src = fs.Arg(0)
+	} else {
+		res := run(*app, *kern, *nodes, *seed, &mklite.Options{Flame: true})
+		folded = res.Folded
+		src = fmt.Sprintf("%s on %s, %d nodes", res.App, res.Kernel, res.Nodes)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s-%d.folded", *app, *kern, *nodes)
+	}
+	if err := os.WriteFile(path, []byte(folded), 0o644); err != nil {
+		fatal(err)
+	}
+	lines := strings.Count(folded, "\n")
+	fmt.Printf("flame: %s (%d stacks from %s; load in speedscope or flamegraph.pl)\n", path, lines, src)
+}
+
+func run(app, kern string, nodes int, seed uint64, opts *mklite.Options) mklite.Result {
+	k, err := mklite.ParseKernel(kern)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := mklite.Run(app, k, nodes, seed, opts)
+	if err != nil {
+		fatal(err)
+	}
+	return res
+}
+
+func readReport(path string) *metrics.Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := metrics.ReadReport(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return rep
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkprof:", err)
+	os.Exit(1)
+}

@@ -36,6 +36,8 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "sweep the app's full node-count list")
 		trace     = flag.Bool("trace", false, "print a per-timestep breakdown (first 12 steps)")
 		counters  = flag.Bool("counters", false, "collect and print mechanism counters")
+		metricsF  = flag.Bool("metrics", false, "collect and print the metrics profile (phases, latency histograms, gauges)")
+		metricsJ  = flag.String("metrics-json", "", "write the run's mklite-metrics/v1 JSON report to this file (implies -metrics)")
 		traceOut  = flag.String("trace-json", "", "write the run's Chrome trace-event JSON to this file")
 		list      = flag.Bool("list", false, "list applications and exit")
 	)
@@ -57,6 +59,7 @@ func main() {
 		Quadrant:          *quadrant,
 		Trace:             *trace,
 		Counters:          *counters,
+		Metrics:           *metricsF || *metricsJ != "",
 		Events:            *traceOut != "",
 	}
 
@@ -118,6 +121,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "mkrun: wrote %s (%d bytes)\n", *traceOut, len(r.TraceJSON))
 	}
+	if *metricsJ != "" {
+		if err := os.WriteFile(*metricsJ, r.MetricsJSON, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mkrun: wrote %s (%d bytes)\n", *metricsJ, len(r.MetricsJSON))
+	}
 	if *jsonOut {
 		emitJSON(r)
 		return
@@ -138,6 +147,12 @@ func main() {
 	if *counters && len(r.Counters) > 0 {
 		fmt.Println("  mechanism counters:")
 		for line := range strings.Lines(mklite.FormatCounters(r.Counters)) {
+			fmt.Print("    ", line)
+		}
+	}
+	if opts.Metrics && r.MetricsText != "" {
+		fmt.Println("  metrics profile:")
+		for line := range strings.Lines(r.MetricsText) {
 			fmt.Print("    ", line)
 		}
 	}

@@ -26,11 +26,15 @@ type ExperimentConfig struct {
 	// Counters aggregates mechanism counters across every run behind a
 	// figure into Figure.Counters (rendered output is unchanged).
 	Counters bool
+	// Metrics aggregates latency histograms, phase accounting and gauges
+	// across every run behind a figure into Figure.MetricsText (rendered
+	// figure output is unchanged).
+	Metrics bool
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
 	return experiments.Config{Reps: c.Reps, Seed: c.Seed, Quick: c.Quick,
-		Workers: c.Workers, Counters: c.Counters}
+		Workers: c.Workers, Counters: c.Counters, Metrics: c.Metrics}
 }
 
 // Point is one measurement of a scaling series.
@@ -57,6 +61,10 @@ type Figure struct {
 	// the figure when ExperimentConfig.Counters was set. Render ignores
 	// it, so figure text is identical with and without counting.
 	Counters map[string]int64
+	// MetricsText holds the rendered mklite-metrics report of the merged
+	// runs behind the figure when ExperimentConfig.Metrics was set.
+	// Render ignores it too.
+	MetricsText string
 }
 
 // Get returns the named series or nil.
@@ -73,7 +81,7 @@ func (f *Figure) Get(name string) *Series {
 func (f *Figure) Render() string { return toStatsFigure(f).Render() }
 
 func fromStatsFigure(sf *stats.Figure) Figure {
-	out := Figure{ID: sf.ID, Title: sf.Title, Counters: sf.Counters}
+	out := Figure{ID: sf.ID, Title: sf.Title, Counters: sf.Counters, MetricsText: sf.MetricsText}
 	for _, s := range sf.Series {
 		ns := Series{Name: s.Name, Unit: s.Unit}
 		for _, p := range s.Points {

@@ -27,6 +27,10 @@ var parFuncs = map[string]bool{
 //     counts and interleaves the event ring nondeterministically. Each job
 //     builds its own sink inside the closure; aggregation happens by
 //     merging in index order after the join.
+//   - internal/metrics: Registry/Histogram record with plain int64
+//     increments under the same single-goroutine contract as the sink
+//     that feeds them; a shared registry races and merges rank histograms
+//     in worker order.
 var sharedTypeGroups = []struct {
 	pkg   string // import-path suffix of the owning package
 	disp  string // display prefix in diagnostics
@@ -34,6 +38,7 @@ var sharedTypeGroups = []struct {
 }{
 	{"internal/sim", "sim", map[string]bool{"RNG": true, "Engine": true, "Proc": true}},
 	{"internal/trace", "trace", map[string]bool{"Sink": true, "Counters": true, "Events": true}},
+	{"internal/metrics", "metrics", map[string]bool{"Registry": true, "Histogram": true}},
 }
 
 // ParShare rejects par.Map closures that capture per-job state — a *sim.RNG
@@ -43,19 +48,23 @@ var sharedTypeGroups = []struct {
 // closure; merged aggregation happens after the join.
 var ParShare = &Analyzer{
 	Name: "parshare",
-	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc) or a " +
-		"*trace.Sink (or trace.Counters/trace.Events) across a par.Map " +
-		"closure, and forbid package-level trace sinks; per-job state is " +
-		"derived inside the job and merged after the join",
+	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc), a " +
+		"*trace.Sink (or trace.Counters/trace.Events) or a " +
+		"*metrics.Registry (or metrics.Histogram) across a par.Map " +
+		"closure, and forbid package-level trace sinks and metrics " +
+		"registries; per-job state is derived inside the job and merged " +
+		"after the join",
 	Run: runParShare,
 }
 
 func runParShare(pass *Pass) error {
-	// internal/trace owns the guarded types; its declarations are the
-	// implementation, not a leak.
-	inTracePkg := pass.Pkg != nil && pathMatches(pass.Pkg.Path(), "internal/trace")
+	// internal/trace and internal/metrics own the guarded observation
+	// types; their declarations are the implementation, not a leak.
+	ownerPkg := pass.Pkg != nil &&
+		(pathMatches(pass.Pkg.Path(), "internal/trace") ||
+			pathMatches(pass.Pkg.Path(), "internal/metrics"))
 	for _, f := range pass.Files {
-		if !inTracePkg {
+		if !ownerPkg {
 			checkGlobalSinks(pass, f)
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -92,11 +101,17 @@ func checkGlobalSinks(pass *Pass, f *ast.File) {
 			}
 			for _, name := range vs.Names {
 				v, ok := pass.TypesInfo.Defs[name].(*types.Var)
-				if !ok || !isTraceType(v.Type()) {
+				if !ok {
 					continue
 				}
-				pass.Reportf(name.Pos(), "package-level trace sink %s %q: sinks are per-run state threaded through the run's job/config, never package globals (determinism contract, see docs/TRACING.md)",
-					sharedTypeName(v.Type()), name.Name)
+				switch {
+				case isTraceType(v.Type()):
+					pass.Reportf(name.Pos(), "package-level trace sink %s %q: sinks are per-run state threaded through the run's job/config, never package globals (determinism contract, see docs/TRACING.md)",
+						sharedTypeName(v.Type()), name.Name)
+				case isMetricsType(v.Type()):
+					pass.Reportf(name.Pos(), "package-level metrics registry %s %q: registries are per-run state attached through Options.Metrics, never package globals (determinism contract, see docs/METRICS.md)",
+						sharedTypeName(v.Type()), name.Name)
+				}
 			}
 		}
 	}
@@ -135,8 +150,11 @@ func checkClosure(pass *Pass, lit *ast.FuncLit) {
 		}
 		if name := sharedTypeName(v.Type()); name != "" {
 			hint := "sim.NewRNG(sim.StreamSeed(seed, uint64(i)))"
-			if isTraceType(v.Type()) {
+			switch {
+			case isTraceType(v.Type()):
 				hint = "trace.NewSink(trace.NewCounters(), nil), merged in index order after the join"
+			case isMetricsType(v.Type()):
+				hint = "metrics.NewRegistry(), merged in index order after the join"
 			}
 			pass.Reportf(id.Pos(), "par closure captures %s %q from an enclosing scope: per-job state must be derived inside the job — %s — or worker scheduling leaks into the results (determinism contract, see docs/LINTING.md)",
 				name, id.Name, hint)
@@ -183,4 +201,11 @@ func sharedTypeName(t types.Type) string {
 func isTraceType(t types.Type) bool {
 	_, gi, _ := guardedNamed(t)
 	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/trace"
+}
+
+// isMetricsType reports whether t is — or points to — a guarded
+// internal/metrics type.
+func isMetricsType(t types.Type) bool {
+	_, gi, _ := guardedNamed(t)
+	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/metrics"
 }

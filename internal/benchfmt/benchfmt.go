@@ -1,0 +1,190 @@
+// Package benchfmt defines the schema-versioned wall-clock benchmark
+// artifact ("mklite-bench/v1") that the repo's bench smoke tests emit
+// (BENCH_PR4.json) and that cmd/mkbench compares against a checked-in
+// baseline. Wall-clock numbers are the one non-deterministic output the
+// repo produces, so every mode records the best-of-N seconds together
+// with the rep count and the spread across reps — a comparator that
+// ignores the spread cannot tell a regression from scheduler noise.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"maps"
+	"math"
+	"slices"
+	"strings"
+)
+
+// Schema versions the benchmark file format. Compare refuses to mix
+// schemas: a tolerance judgment across formats is meaningless.
+const Schema = "mklite-bench/v1"
+
+// Mode is one measured configuration (e.g. "sequential", "trace-counters").
+type Mode struct {
+	// Reps is how many back-to-back repetitions were timed.
+	Reps int `json:"reps"`
+	// Seconds is the best (minimum) wall clock across the reps — the
+	// least-interfered-with estimate of the true cost.
+	Seconds float64 `json:"seconds"`
+	// SpreadPercent is (worst-best)/best*100 across the reps: the
+	// noise floor below which deltas are not evidence.
+	SpreadPercent float64 `json:"spread_percent"`
+}
+
+// File is one benchmark artifact: the measured modes plus derived scalar
+// metrics (speedups, overhead percentages) computed from them.
+type File struct {
+	Schema   string             `json:"schema"`
+	Figure   string             `json:"figure"`
+	Maxprocs int                `json:"gomaxprocs"`
+	Modes    map[string]Mode    `json:"modes"`
+	Derived  map[string]float64 `json:"derived,omitempty"`
+}
+
+// New returns an empty file for the given figure.
+func New(figure string, maxprocs int) *File {
+	return &File{Schema: Schema, Figure: figure, Maxprocs: maxprocs, Modes: map[string]Mode{}}
+}
+
+// Marshal renders the file as indented JSON with a trailing newline.
+// encoding/json sorts map keys, so the bytes are deterministic for a
+// given set of measurements.
+func (f *File) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Read parses a benchmark file, checking the schema.
+func Read(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing: %w", err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: schema %q, want %q", f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Result is the outcome of a comparison: a rendered report plus the list
+// of regressions that exceeded their tolerance band.
+type Result struct {
+	Report      string
+	Regressions []string
+}
+
+// OK reports whether the comparison found no out-of-band regressions.
+func (r *Result) OK() bool { return len(r.Regressions) == 0 }
+
+// Compare judges new against old, benchstat-style. A mode regresses when
+// its best-of-N seconds grew by more than the tolerance band, where the
+// band is tolPercent widened by both runs' recorded spreads (noise cannot
+// prove a regression). A derived "*_percent" metric regresses when it
+// grew by more than tolPoints percentage points; other derived metrics
+// (speedups) regress when they shrank by more than tolPercent percent.
+// Metrics present on only one side are reported but never fail the gate.
+func Compare(old, new *File, tolPercent, tolPoints float64) *Result {
+	res := &Result{}
+	var b strings.Builder
+	if old.Figure != new.Figure {
+		fmt.Fprintf(&b, "note: comparing different figures: %q vs %q\n", old.Figure, new.Figure)
+	}
+	if old.Maxprocs != new.Maxprocs {
+		fmt.Fprintf(&b, "note: GOMAXPROCS differs: %d vs %d (wall clocks are not comparable in general)\n",
+			old.Maxprocs, new.Maxprocs)
+	}
+
+	modeKeys := map[string]bool{}
+	for k := range old.Modes {
+		modeKeys[k] = true
+	}
+	for k := range new.Modes {
+		modeKeys[k] = true
+	}
+	if len(modeKeys) > 0 {
+		fmt.Fprintf(&b, "%-16s %12s %12s %10s %10s\n", "mode", "old s", "new s", "delta", "band")
+		for _, k := range slices.Sorted(maps.Keys(modeKeys)) {
+			o, haveOld := old.Modes[k]
+			n, haveNew := new.Modes[k]
+			switch {
+			case !haveOld:
+				fmt.Fprintf(&b, "%-16s %12s %12.4f %10s %10s\n", k, "-", n.Seconds, "new", "-")
+			case !haveNew:
+				fmt.Fprintf(&b, "%-16s %12.4f %12s %10s %10s\n", k, o.Seconds, "-", "gone", "-")
+			default:
+				delta := (n.Seconds - o.Seconds) / o.Seconds * 100
+				band := tolPercent + o.SpreadPercent + n.SpreadPercent
+				verdict := ""
+				if delta > band {
+					verdict = "  REGRESSION"
+					res.Regressions = append(res.Regressions,
+						fmt.Sprintf("mode %s: %.4fs -> %.4fs (%+.1f%% > band %.1f%%)",
+							k, o.Seconds, n.Seconds, delta, band))
+				}
+				fmt.Fprintf(&b, "%-16s %12.4f %12.4f %+9.1f%% %9.1f%%%s\n",
+					k, o.Seconds, n.Seconds, delta, band, verdict)
+			}
+		}
+	}
+
+	derivedKeys := map[string]bool{}
+	for k := range old.Derived {
+		derivedKeys[k] = true
+	}
+	for k := range new.Derived {
+		derivedKeys[k] = true
+	}
+	if len(derivedKeys) > 0 {
+		fmt.Fprintf(&b, "%-32s %12s %12s %10s\n", "derived", "old", "new", "delta")
+		for _, k := range slices.Sorted(maps.Keys(derivedKeys)) {
+			o, haveOld := old.Derived[k]
+			n, haveNew := new.Derived[k]
+			switch {
+			case !haveOld:
+				fmt.Fprintf(&b, "%-32s %12s %12.3f %10s\n", k, "-", n, "new")
+			case !haveNew:
+				fmt.Fprintf(&b, "%-32s %12.3f %12s %10s\n", k, o, "-", "gone")
+			default:
+				verdict := ""
+				if strings.HasSuffix(k, "_percent") {
+					// Overhead percentages: higher is worse; judge the
+					// move in percentage points.
+					if n-o > tolPoints {
+						verdict = "  REGRESSION"
+						res.Regressions = append(res.Regressions,
+							fmt.Sprintf("derived %s: %.3f -> %.3f (+%.1fpp > %.1fpp)",
+								k, o, n, n-o, tolPoints))
+					}
+				} else if o > 0 && (o-n)/o*100 > tolPercent {
+					// Speedup-style metrics: lower is worse.
+					verdict = "  REGRESSION"
+					res.Regressions = append(res.Regressions,
+						fmt.Sprintf("derived %s: %.3f -> %.3f (-%.1f%% > %.1f%%)",
+							k, o, n, (o-n)/o*100, tolPercent))
+				}
+				fmt.Fprintf(&b, "%-32s %12.3f %12.3f %+10.3f%s\n", k, o, n, n-o, verdict)
+			}
+		}
+	}
+	res.Report = b.String()
+	return res
+}
+
+// CheckBudget asserts an absolute ceiling on one derived metric of a
+// file, e.g. counters_overhead_percent <= 5. Returns "" when the budget
+// holds (or a descriptive failure otherwise). A missing metric fails: a
+// budget on a metric the file does not record is a stale gate.
+func (f *File) CheckBudget(name string, max float64) string {
+	v, ok := f.Derived[name]
+	if !ok {
+		return fmt.Sprintf("budget %s<=%.3g: metric not present in file", name, max)
+	}
+	if math.IsNaN(v) || v > max {
+		return fmt.Sprintf("budget %s<=%.3g: measured %.3f", name, max, v)
+	}
+	return ""
+}

@@ -91,6 +91,7 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 	sink := j.Sink
 	counting := sink.Counting()
 	eventing := sink.Eventing()
+	observing := sink.Observing()
 
 	// Wire costs are identical every step; precompute.
 	var haloWire sim.Duration
@@ -194,7 +195,7 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		// its own heap engine; the slowest rank gates the node.
 		var heapMax sim.Duration
 		if heapOps != nil {
-			for _, rs := range ns.ranks {
+			for ri, rs := range ns.ranks {
 				var cost sim.Duration
 				var work mem.Work
 				for _, delta := range heapOps {
@@ -213,9 +214,12 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 				if cost > heapMax {
 					heapMax = cost
 				}
+				if observing {
+					sink.ObserveRank("heap.cost_ns", ri, int64(cost))
+				}
 			}
 			if counting {
-				sink.Count("syscall.brk", int64(len(heapOps)*len(ns.ranks)))
+				sink.CountKey(trace.KeySyscallBrk, int64(len(heapOps)*len(ns.ranks)))
 			}
 		}
 
@@ -234,15 +238,15 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 			sim.DurationOf(float64(app.SchedYieldsPerStep)*yieldTime.Seconds())
 		if counting {
 			devCalls := int64(msgs * dsPerMsg)
-			sink.Count("fabric.messages", int64(msgs))
-			sink.Count("fabric.dev_syscalls", devCalls)
-			sink.Count("syscall.ioctl", devCalls)
-			sink.Count("syscall.sched_yield", int64(app.SchedYieldsPerStep))
+			sink.CountKey(trace.KeyFabricMessages, int64(msgs))
+			sink.CountKey(trace.KeyFabricDevSyscalls, devCalls)
+			sink.CountKey(trace.KeySyscallIoctl, devCalls)
+			sink.CountKey(trace.KeySyscallSchedYield, int64(app.SchedYieldsPerStep))
 			if ioctlOffloaded && devCalls > 0 {
 				// Every device-file call on the comm path pays the
 				// kernel's IKC/migration round trip.
-				sink.Count("offload.calls", devCalls)
-				sink.Count("offload.rtt_ns", devCalls*int64(costs.OffloadRTT))
+				sink.CountKey(trace.KeyOffloadCalls, devCalls)
+				sink.CountKey(trace.KeyOffloadRTTNs, devCalls*int64(costs.OffloadRTT))
 			}
 		}
 
@@ -269,8 +273,11 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 			d, maxRank := noise.MaxDetourRank(rng, prof, totalRanks, base)
 			detour += d
 			if counting {
-				sink.Count("mpi.collectives", 1)
-				sink.Count("noise.collective_max_ns", int64(d))
+				sink.CountKey(trace.KeyMPICollectives, 1)
+				sink.CountKey(trace.KeyNoiseCollectiveMaxNs, int64(d))
+			}
+			if observing {
+				sink.Observe("noise.collective_max_ns", int64(d))
 			}
 			if eventing {
 				sink.Instant(int64(stepStart), 0, laneMPI, "collective", "mpi",
@@ -286,8 +293,11 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 			d, _ := noise.MaxDetourRank(rng, prof, nb, base)
 			detour += d
 			if counting {
-				sink.Count("mpi.halo_exchanges", int64(haloRounds))
-				sink.Count("noise.halo_max_ns", int64(d))
+				sink.CountKey(trace.KeyMPIHaloExchanges, int64(haloRounds))
+				sink.CountKey(trace.KeyNoiseHaloMaxNs, int64(d))
+			}
+			if observing {
+				sink.Observe("noise.halo_max_ns", int64(d))
 			}
 		}
 		if collsDue == 0 && haloWire == 0 {
@@ -303,7 +313,12 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		parts := stepParts{compute: cpuTime, memory: memMax, heap: heapMax,
 			syscall: sysTime, comm: haloWire + collWire, noise: detour}
 		if counting {
-			sink.Count("noise.detour_ns", int64(detour))
+			sink.CountKey(trace.KeyNoiseDetourNs, int64(detour))
+		}
+		if observing {
+			sink.Observe("noise.detour_ns", int64(detour))
+			sink.Observe("step.total_ns", int64(parts.total()))
+			sink.Observe("fabric.step_messages", int64(msgs))
 		}
 		if eventing {
 			parts.emitSpans(sink, stepStart)
@@ -313,6 +328,21 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 			res0Steps = append(res0Steps, parts.record())
 		}
 		parts.addTo(&bd)
+	}
+
+	if observing {
+		// One accumulation per run, derived from the same Breakdown the
+		// results report — the phase table cannot drift from simulated
+		// time.
+		sink.Phase("compute", int64(bd.Compute))
+		sink.Phase("memory", int64(bd.Memory))
+		sink.Phase("heap", int64(bd.Heap))
+		sink.Phase("syscall", int64(bd.Syscall))
+		sink.Phase("comm", int64(bd.Comm))
+		sink.Phase("noise", int64(bd.Noise))
+		sink.Phase("setup.shm", int64(bd.SetupShm))
+		sink.Gauge("cluster.ranks", int64(totalRanks))
+		sink.Gauge("cluster.timesteps", int64(app.Timesteps))
 	}
 
 	work := app.WorkPerStepPerNode(j.Nodes) * float64(app.Timesteps)

@@ -13,6 +13,7 @@ import (
 	"mklite/internal/apps"
 	"mklite/internal/cluster"
 	"mklite/internal/kernel"
+	"mklite/internal/metrics"
 	"mklite/internal/par"
 	"mklite/internal/sim"
 	"mklite/internal/stats"
@@ -41,6 +42,12 @@ type Config struct {
 	// the par closure, merged in index order after the join — so the
 	// fan-out stays race-free and rendered figure bytes are unchanged.
 	Counters bool
+	// Metrics attaches a per-repetition metrics.Registry the same way:
+	// one registry per repetition, created inside the worker closure,
+	// merged in index order after the join. The merged report's rendered
+	// tables land in Figure.MetricsText. Rendered figure bytes and run
+	// digests are unchanged — metrics only observe.
+	Metrics bool
 }
 
 // DefaultConfig mirrors the paper's methodology.
@@ -74,7 +81,7 @@ func (c Config) nodeCounts(app *apps.Spec) []int {
 // share all but one rep seed, so their "independent" repetitions were
 // almost entirely correlated.
 func measure(cfg Config, job cluster.Job) (stats.Summary, error) {
-	sum, _, err := measureCounted(cfg, job)
+	sum, _, _, err := measureCounted(cfg, job)
 	return sum, err
 }
 
@@ -82,6 +89,7 @@ func measure(cfg Config, job cluster.Job) (stats.Summary, error) {
 type repResult struct {
 	fom      float64
 	counters *trace.Counters
+	metrics  *metrics.Registry
 }
 
 // measureCounted is measure plus optional mechanism counters: with
@@ -89,36 +97,49 @@ type repResult struct {
 // inside the worker closure — sinks must never cross par workers) and the
 // per-rep counter sets are merged in index order after the join, keeping the
 // aggregate independent of scheduling.
-func measureCounted(cfg Config, job cluster.Job) (stats.Summary, *trace.Counters, error) {
+func measureCounted(cfg Config, job cluster.Job) (stats.Summary, *trace.Counters, *metrics.Registry, error) {
 	reps, err := par.MapWidthErr(cfg.Workers, cfg.Reps, func(rep int) (repResult, error) {
 		j := job // per-job copy; the closure shares nothing mutable
 		j.Seed = sim.StreamSeed(cfg.Seed, uint64(rep))
 		var ctrs *trace.Counters
-		if cfg.Counters {
-			ctrs = trace.NewCounters()
-			j.Sink = trace.NewSink(ctrs, nil)
+		var reg *metrics.Registry
+		if cfg.Counters || cfg.Metrics {
+			if cfg.Counters {
+				ctrs = trace.NewCounters()
+			}
+			var obs trace.Observer
+			if cfg.Metrics {
+				reg = metrics.NewRegistry()
+				obs = reg
+			}
+			j.Sink = trace.NewSinkObs(ctrs, nil, obs)
 		}
 		res, err := cluster.Run(j)
 		if err != nil {
 			return repResult{}, err
 		}
-		return repResult{fom: res.FOM, counters: ctrs}, nil
+		return repResult{fom: res.FOM, counters: ctrs, metrics: reg}, nil
 	})
 	if err != nil {
-		return stats.Summary{}, nil, err
+		return stats.Summary{}, nil, nil, err
 	}
 	foms := make([]float64, len(reps))
 	var merged *trace.Counters
 	if cfg.Counters {
 		merged = trace.NewCounters()
 	}
+	var mergedReg *metrics.Registry
+	if cfg.Metrics {
+		mergedReg = metrics.NewRegistry()
+	}
 	for i, r := range reps {
 		foms[i] = r.fom
 		if merged != nil {
 			merged.Merge(r.counters)
 		}
+		mergedReg.Merge(r.metrics)
 	}
-	return stats.Summarize(foms), merged, nil
+	return stats.Summarize(foms), merged, mergedReg, nil
 }
 
 // appFigure builds the three-kernel figure for one application by fanning
@@ -131,14 +152,15 @@ func appFigure(cfg Config, app *apps.Spec, id string) (*stats.Figure, error) {
 	type cell struct {
 		sum      stats.Summary
 		counters *trace.Counters
+		metrics  *metrics.Registry
 	}
 	cells, err := par.MapWidthErr(cfg.Workers, len(kts)*len(nodes), func(i int) (cell, error) {
 		kt, n := kts[i/len(nodes)], nodes[i%len(nodes)]
-		sum, ctrs, err := measureCounted(cfg, cluster.Job{App: app, Kernel: kt, Nodes: n})
+		sum, ctrs, reg, err := measureCounted(cfg, cluster.Job{App: app, Kernel: kt, Nodes: n})
 		if err != nil {
 			return cell{}, fmt.Errorf("experiments: %s on %v at %d nodes: %w", app.Name, kt, n, err)
 		}
-		return cell{sum: sum, counters: ctrs}, nil
+		return cell{sum: sum, counters: ctrs, metrics: reg}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -157,6 +179,13 @@ func appFigure(cfg Config, app *apps.Spec, id string) (*stats.Figure, error) {
 			merged.Merge(c.counters)
 		}
 		fig.Counters = merged.Map()
+	}
+	if cfg.Metrics {
+		merged := metrics.NewRegistry()
+		for _, c := range cells {
+			merged.Merge(c.metrics)
+		}
+		fig.MetricsText = merged.Report().Render()
 	}
 	return fig, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"mklite/internal/kernel"
 	"mklite/internal/sim"
+	"mklite/internal/trace"
 )
 
 // IKC models the Inter-Kernel Communication layer: message queues between
@@ -105,7 +106,7 @@ func (s *OffloadServer) worker(p *sim.Proc) {
 		}
 		p.Sleep(req.service)
 		s.Serviced++
-		s.eng.Sink().Count("ihk.serviced", 1)
+		s.eng.Sink().CountKey(trace.KeyIHKServiced, 1)
 		if sig := s.replies[req.id]; sig != nil {
 			delete(s.replies, req.id)
 			sig.Fire(s.eng)
@@ -130,8 +131,9 @@ func (s *OffloadServer) Offload(p *sim.Proc, appCore int, service sim.Duration) 
 	s.queue.Send(s.eng, offloadReq{id: id, appCore: appCore, service: service})
 	s.depth++
 	if sink := s.eng.Sink(); sink != nil {
-		sink.Count("ihk.offloads", 1)
-		sink.Count("ihk.rtt_ns", int64(rtt))
+		sink.CountKey(trace.KeyIHKOffloads, 1)
+		sink.CountKey(trace.KeyIHKRTTNs, int64(rtt))
+		sink.Observe("ihk.rtt_ns", int64(rtt))
 		if sink.Eventing() {
 			sink.CounterEvent(int64(s.eng.Now()), 0, "offload.queue_depth", s.depth)
 		}

@@ -78,6 +78,18 @@ func (p *Process) table() *FDTable {
 	return p.fds
 }
 
+// sysCounterName interns the "syscall.<name>" counter names once per
+// process image, so dispatch accounting never concatenates strings. The
+// table is built at init and read-only afterwards, which keeps it safe to
+// share across par worker closures (unlike any mutable trace state).
+var sysCounterName = func() [numSysno]string {
+	var names [numSysno]string
+	for n := Sysno(0); n < numSysno; n++ {
+		names[n] = "syscall." + n.String()
+	}
+	return names
+}()
+
 // charge accounts one syscall invocation plus extra kernel work. With a
 // counting sink attached it also records the dispatch — per-syscall counts
 // and, for offloaded calls, the IKC/migration round trip the dispatch paid —
@@ -86,14 +98,17 @@ func (p *Process) charge(n Sysno, extra sim.Duration) {
 	p.SyscallTime += p.Kern.SyscallTime(n) + extra
 	p.Calls[n]++
 	if p.sink.Counting() {
-		p.sink.Count("syscall."+n.String(), 1)
+		p.sink.Count(sysCounterName[n], 1)
 		switch p.Kern.Table().Get(n) {
 		case Offloaded:
-			p.sink.Count("offload.calls", 1)
-			p.sink.Count("offload.rtt_ns", int64(p.Kern.Costs().OffloadRTT))
+			p.sink.CountKey(trace.KeyOffloadCalls, 1)
+			p.sink.CountKey(trace.KeyOffloadRTTNs, int64(p.Kern.Costs().OffloadRTT))
 		case Unsupported:
-			p.sink.Count("syscall.enosys", 1)
+			p.sink.CountKey(trace.KeySyscallEnosys, 1)
 		}
+	}
+	if p.sink.Observing() {
+		p.sink.Observe("syscall.cost_ns", int64(p.Kern.SyscallTime(n)+extra))
 	}
 }
 

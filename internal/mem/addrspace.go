@@ -150,12 +150,24 @@ func (as *AddrSpace) notePlacement(pol Policy, dom int, bytes int64) {
 		return
 	}
 	if as.kindOfDomain(dom) == hw.MCDRAM {
-		as.sink.Count("mem.bytes.mcdram", bytes)
+		as.sink.CountKey(trace.KeyMemBytesMCDRAM, bytes)
 		return
 	}
-	as.sink.Count("mem.bytes.ddr4", bytes)
+	as.sink.CountKey(trace.KeyMemBytesDDR4, bytes)
 	if len(pol.Domains) > 0 && as.kindOfDomain(pol.Domains[0]) == hw.MCDRAM {
-		as.sink.Count("mem.spill_ddr4_bytes", bytes)
+		as.sink.CountKey(trace.KeyMemSpillDDR4Bytes, bytes)
+	}
+}
+
+// faultKey maps a page size to its interned demand-fault counter key.
+func faultKey(p hw.PageSize) trace.Key {
+	switch p {
+	case hw.Page2M:
+		return trace.KeyMemFault2M
+	case hw.Page1G:
+		return trace.KeyMemFault1G
+	default:
+		return trace.KeyMemFault4K
 	}
 }
 
@@ -214,11 +226,11 @@ func (as *AddrSpace) Map(size int64, kind VMAKind, pol Policy) (*VMA, error) {
 					size, got, pol.Domains)
 			}
 			v.DemandActive = true
-			as.sink.Count("mem.vma.demand_fallback", 1)
+			as.sink.CountKey(trace.KeyMemVMADemandFallback, 1)
 		}
 	}
 	as.insert(v)
-	as.sink.Count("mem.vma.map", 1)
+	as.sink.CountKey(trace.KeyMemVMAMap, 1)
 	return v, nil
 }
 
@@ -236,7 +248,7 @@ func (as *AddrSpace) Unmap(v *VMA) error {
 		if w == v {
 			as.releaseBackings(v)
 			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
-			as.sink.Count("mem.vma.unmap", 1)
+			as.sink.CountKey(trace.KeyMemVMAUnmap, 1)
 			return nil
 		}
 	}
@@ -418,8 +430,11 @@ func (as *AddrSpace) demandPopulate(v *VMA, end int64, maxPage hw.PageSize, faul
 			if counting {
 				as.notePlacement(v.Pol, dom, n)
 				if faulting && faults > 0 {
-					as.sink.Count("mem.fault."+p.String(), faults)
+					as.sink.CountKey(faultKey(p), faults)
 				}
+			}
+			if faulting && faults > 0 {
+				as.sink.Observe("mem.fault_pages", faults)
 			}
 			v.Populated += n
 			res.BytesPopulated += n

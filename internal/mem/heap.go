@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mklite/internal/hw"
+	"mklite/internal/trace"
 )
 
 // Work quantifies the mechanical cost of a memory operation in hardware
@@ -108,7 +109,7 @@ func (h *LinuxHeap) Sbrk(delta int64) (int64, Work, error) {
 	switch {
 	case delta == 0:
 		h.st.Queries++
-		sink.Count("heap.queries", 1)
+		sink.CountKey(trace.KeyHeapQueries, 1)
 	case delta > 0:
 		if h.size+delta > h.vma.Size {
 			return h.size, w, fmt.Errorf("mem: heap limit exceeded (%d + %d > %d)", h.size, delta, h.vma.Size)
@@ -120,11 +121,11 @@ func (h *LinuxHeap) Sbrk(delta int64) (int64, Work, error) {
 		h.size += delta
 		h.st.Grows++
 		h.st.GrownBytes += delta
-		sink.Count("heap.grows", 1)
-		sink.Count("heap.grown_bytes", delta)
+		sink.CountKey(trace.KeyHeapGrows, 1)
+		sink.CountKey(trace.KeyHeapGrownBytes, delta)
 		if h.size > h.st.Peak {
 			h.st.Peak = h.size
-			sink.CountMax("heap.peak_bytes", h.size)
+			sink.CountMaxKey(trace.KeyHeapPeakBytes, h.size)
 		}
 		// No physical work: population is deferred to first touch.
 	default:
@@ -138,8 +139,8 @@ func (h *LinuxHeap) Sbrk(delta int64) (int64, Work, error) {
 		freed := h.as.Trim(h.vma, h.size)
 		h.st.ShrunkBytes += freed
 		w.FreedBytes += freed
-		sink.Count("heap.shrinks", 1)
-		sink.Count("heap.shrunk_bytes", freed)
+		sink.CountKey(trace.KeyHeapShrinks, 1)
+		sink.CountKey(trace.KeyHeapShrunkBytes, freed)
 		// Truncate growth segments to the new break; regrowth will
 		// start a fresh (likely unaligned) segment.
 		for len(h.segs) > 0 {
@@ -202,8 +203,8 @@ func (h *LinuxHeap) TouchUpTo(limit int64) Work {
 	h.st.Faults += w.Faults
 	h.st.ZeroedBytes += w.ZeroedBytes
 	if sink := h.as.Sink(); sink.Counting() && (w.Faults > 0 || w.ZeroedBytes > 0) {
-		sink.Count("heap.faults", w.Faults)
-		sink.Count("heap.zeroed_bytes", w.ZeroedBytes)
+		sink.CountKey(trace.KeyHeapFaults, w.Faults)
+		sink.CountKey(trace.KeyHeapZeroedBytes, w.ZeroedBytes)
 	}
 	return w
 }
@@ -284,12 +285,12 @@ func (h *HPCHeap) Sbrk(delta int64) (int64, Work, error) {
 	switch {
 	case delta == 0:
 		h.st.Queries++
-		sink.Count("heap.queries", 1)
+		sink.CountKey(trace.KeyHeapQueries, 1)
 	case delta > 0:
 		h.st.Grows++
 		h.st.GrownBytes += delta
-		sink.Count("heap.grows", 1)
-		sink.Count("heap.grown_bytes", delta)
+		sink.CountKey(trace.KeyHeapGrows, 1)
+		sink.CountKey(trace.KeyHeapGrownBytes, delta)
 		newSize := h.size + delta
 		if newSize > h.vma.Size {
 			return h.size, w, fmt.Errorf("mem: heap limit exceeded (%d > %d)", newSize, h.vma.Size)
@@ -325,16 +326,16 @@ func (h *HPCHeap) Sbrk(delta int64) (int64, Work, error) {
 				w.ZeroedBytes += grown
 			}
 			h.st.ZeroedBytes += w.ZeroedBytes
-			sink.Count("heap.zeroed_bytes", w.ZeroedBytes)
+			sink.CountKey(trace.KeyHeapZeroedBytes, w.ZeroedBytes)
 		}
 		h.size = newSize
 		if h.size > h.st.Peak {
 			h.st.Peak = h.size
-			sink.CountMax("heap.peak_bytes", h.size)
+			sink.CountMaxKey(trace.KeyHeapPeakBytes, h.size)
 		}
 	default:
 		h.st.Shrinks++
-		sink.Count("heap.shrinks", 1)
+		sink.CountKey(trace.KeyHeapShrinks, 1)
 		shrink := -delta
 		if shrink > h.size {
 			shrink = h.size
@@ -350,7 +351,7 @@ func (h *HPCHeap) Sbrk(delta int64) (int64, Work, error) {
 			h.reserved -= freed
 			h.st.ShrunkBytes += freed
 			w.FreedBytes += freed
-			sink.Count("heap.shrunk_bytes", freed)
+			sink.CountKey(trace.KeyHeapShrunkBytes, freed)
 		}
 	}
 	return h.size, w, nil

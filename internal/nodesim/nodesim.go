@@ -136,7 +136,8 @@ func Run(cfg Config) (Result, error) {
 				// Compute, stretched by this core's noise.
 				detour := prof.DetourInTo(rng, core, cfg.ComputePerStep, sink)
 				res.NoiseTotal += detour
-				sink.Count("nodesim.noise_ns", int64(detour))
+				sink.CountKey(trace.KeyNodesimNoiseNs, int64(detour))
+				sink.ObserveRank("nodesim.detour_ns", r, int64(detour))
 				sink.Begin(int64(p.Now()), 0, tid, "compute", "nodesim")
 				p.Sleep(cfg.ComputePerStep + detour)
 				sink.End(int64(p.Now()), 0, tid, "compute", "nodesim")
@@ -155,10 +156,12 @@ func Run(cfg Config) (Result, error) {
 					} else {
 						p.Sleep(costs.Trap + cfg.SyscallService)
 					}
-					if d := sim.Duration(p.Now() - start); d > res.MaxOffloadLatency {
+					d := sim.Duration(p.Now() - start)
+					if d > res.MaxOffloadLatency {
 						res.MaxOffloadLatency = d
-						sink.CountMax("nodesim.max_offload_latency_ns", int64(d))
+						sink.CountMaxKey(trace.KeyNodesimMaxOffloadLatencyNs, int64(d))
 					}
+					sink.ObserveRank("nodesim.offload_latency_ns", r, int64(d))
 				}
 				if cfg.SyscallsPerStep > 0 {
 					sink.End(int64(p.Now()), 0, tid, "syscalls", "nodesim")

@@ -27,9 +27,15 @@ func RunFWQTo(rng *sim.RNG, p *Profile, core int, quantum sim.Duration, iters in
 	for i := 0; i < iters; i++ {
 		detour := p.DetourInTo(rng, core, quantum, sink)
 		if detour > 0 {
-			sink.Count("noise.detoured_iters", 1)
+			sink.CountKey(trace.KeyNoiseDetouredIters, 1)
+			// The detour distribution only has entries for iterations
+			// that were actually detoured — an undisturbed iteration
+			// has no detour event, and padding the histogram with
+			// zeros would hide the tail shape the paper plots.
+			sink.Observe("fwq.detour_ns", int64(detour))
 		}
-		sink.Count("noise.detour_ns", int64(detour))
+		sink.CountKey(trace.KeyNoiseDetourNs, int64(detour))
+		sink.Observe("fwq.iteration_ns", int64(quantum+detour))
 		res.Samples[i] = (quantum + detour).Micros()
 	}
 	return res

@@ -43,6 +43,20 @@ type Source struct {
 	// "this is often due to CPU 0 running services and introducing
 	// noise".
 	CoreFilter func(core int) bool
+
+	// ctr caches the per-source counter name so the hot sampling loop
+	// never concatenates strings. Lazily filled under the profile's
+	// per-run single-goroutine contract (profiles travel with the run's
+	// RNG, never shared across par closures).
+	ctr string
+}
+
+// counterName returns the cached "noise.src.<name>_ns" counter name.
+func (s *Source) counterName() string {
+	if s.ctr == "" {
+		s.ctr = "noise.src." + s.Name + "_ns"
+	}
+	return s.ctr
 }
 
 // appliesTo reports whether the source fires on the given core.
@@ -149,7 +163,7 @@ func (p *Profile) DetourInTo(rng *sim.RNG, core int, window sim.Duration, sink *
 	for i := range p.Sources {
 		d := p.Sources[i].SampleWindow(rng, core, window)
 		if counting && d > 0 {
-			sink.Count("noise.src."+p.Sources[i].Name+"_ns", int64(d))
+			sink.Count(p.Sources[i].counterName(), int64(d))
 		}
 		total += d
 	}

@@ -95,6 +95,15 @@ type Figure struct {
 	// — and therefore the determinism digests — are identical with and
 	// without counting.
 	Counters map[string]int64
+
+	// MetricsText carries the rendered metrics report (per-phase time
+	// breakdown, latency percentile tables) of the runs behind the figure
+	// when the experiment ran with metrics enabled. Like Counters it is
+	// provenance, not plot data: Render ignores it, so figure bytes — and
+	// the determinism digests — are identical with and without metrics.
+	// It is a rendered string rather than a registry to keep stats free of
+	// a metrics dependency (metrics imports stats for its quantile rule).
+	MetricsText string
 }
 
 // Get returns the series with the given name, or nil.

@@ -69,11 +69,16 @@ func Median(xs []float64) float64 {
 	return tmp[n/2-1]/2 + tmp[n/2]/2
 }
 
-// Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between order statistics.
-func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		panic("stats: Percentile of empty sample")
+// Rank is the package's single quantile definition: the p-th percentile
+// (0..100) of a sorted n-element sample lies at fractional order-statistic
+// position p/100*(n-1), linearly interpolated between the samples at
+// positions lo and hi with weight frac on hi. Every percentile in the module
+// — Percentile, Histogram.Percentile and the metrics histograms — derives
+// from this one rule, so a figure table and an mkprof report can never
+// disagree on the same data. It panics on n <= 0.
+func Rank(n int, p float64) (lo, hi int, frac float64) {
+	if n <= 0 {
+		panic("stats: Rank of empty sample")
 	}
 	if p < 0 {
 		p = 0
@@ -81,20 +86,65 @@ func Percentile(xs []float64, p float64) float64 {
 	if p > 100 {
 		p = 100
 	}
+	rank := p / 100 * float64(n-1)
+	lo = int(math.Floor(rank))
+	hi = int(math.Ceil(rank))
+	if hi >= n {
+		hi = n - 1
+	}
+	return lo, hi, rank - float64(lo)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs under the Rank rule.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
 	tmp := make([]float64, len(xs))
 	copy(tmp, xs)
 	sort.Float64s(tmp)
-	if len(tmp) == 1 {
-		return tmp[0]
-	}
-	rank := p / 100 * float64(len(tmp)-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return tmp[lo]
-	}
-	frac := rank - float64(lo)
+	lo, hi, frac := Rank(len(tmp), p)
 	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
+// BucketPercentile computes the p-th percentile of a binned sample under the
+// same Rank rule as Percentile: the count(i) samples of bucket i are treated
+// as evenly spaced from the bucket's lower bound, so the j-th of them sits at
+// lo + (hi-lo)*j/count. Binning loses within-bucket detail, so the result is
+// exact only up to the bucket resolution; callers that track the true sample
+// min/max should clamp into that range. Panics when total <= 0.
+func BucketPercentile(total int64, p float64, buckets int, count func(int) int64, bounds func(int) (lo, hi float64)) float64 {
+	if total <= 0 {
+		panic("stats: BucketPercentile of empty sample")
+	}
+	rlo, rhi, frac := Rank(int(total), p)
+	valueAt := func(k int) float64 {
+		seen := int64(0)
+		for i := 0; i < buckets; i++ {
+			c := count(i)
+			if c == 0 {
+				continue
+			}
+			if int64(k) < seen+c {
+				lo, hi := bounds(i)
+				return lo + (hi-lo)*float64(int64(k)-seen)/float64(c)
+			}
+			seen += c
+		}
+		// k beyond the recorded samples: the last bucket's upper edge.
+		for i := buckets - 1; i >= 0; i-- {
+			if count(i) > 0 {
+				_, hi := bounds(i)
+				return hi
+			}
+		}
+		return 0
+	}
+	a := valueAt(rlo)
+	if rlo == rhi {
+		return a
+	}
+	return a*(1-frac) + valueAt(rhi)*frac
 }
 
 // GeoMean returns the geometric mean of xs. All inputs must be positive.
@@ -157,6 +207,23 @@ func NewHistogram(xs []float64, n int) *Histogram {
 		h.Counts[i]++
 	}
 	return h
+}
+
+// Percentile returns the p-th percentile of the binned sample under the
+// shared Rank rule (see BucketPercentile), clamped into the histogram's
+// observed [Min, Max] range.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.Total <= 0 {
+		panic("stats: Percentile of empty histogram")
+	}
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	v := BucketPercentile(int64(h.Total), p, len(h.Counts),
+		func(i int) int64 { return int64(h.Counts[i]) },
+		func(i int) (float64, float64) {
+			lo := h.Min + float64(i)*width
+			return lo, lo + width
+		})
+	return math.Min(math.Max(v, h.Min), h.Max)
 }
 
 // Render draws the histogram as rows of hash bars (log-ish scaling keeps

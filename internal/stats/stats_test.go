@@ -322,3 +322,94 @@ func TestHistogramRender(t *testing.T) {
 		t.Fatalf("render:\n%s", out)
 	}
 }
+
+func TestRankMatchesPercentile(t *testing.T) {
+	// Rank is the canonical definition; Percentile must be exactly its
+	// application to a sorted sample.
+	xs := []float64{9, 1, 4, 7, 2, 8, 3}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+		lo, hi, frac := Rank(len(xs), p)
+		want := sorted[lo]*(1-frac) + sorted[hi]*frac
+		if got := Percentile(xs, p); got != want {
+			t.Fatalf("Percentile(%v) = %v, Rank rule gives %v", p, got, want)
+		}
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	lo, hi, frac := Rank(5, 0)
+	if lo != 0 || hi != 0 || frac != 0 {
+		t.Fatalf("Rank(5, 0) = %d,%d,%v", lo, hi, frac)
+	}
+	lo, hi, frac = Rank(5, 100)
+	if lo != 4 || hi != 4 || frac != 0 {
+		t.Fatalf("Rank(5, 100) = %d,%d,%v", lo, hi, frac)
+	}
+	// Out-of-range percentiles clamp rather than index out of bounds.
+	if lo, hi, _ = Rank(3, 250); lo != 2 || hi != 2 {
+		t.Fatalf("Rank(3, 250) = %d,%d", lo, hi)
+	}
+	if lo, hi, _ = Rank(3, -5); lo != 0 || hi != 0 {
+		t.Fatalf("Rank(3, -5) = %d,%d", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rank(0, 50) did not panic")
+		}
+	}()
+	Rank(0, 50)
+}
+
+func TestBucketPercentileUniform(t *testing.T) {
+	// 10 buckets of width 1, one sample each at the bucket's lower bound:
+	// the binned percentile must equal the exact sample percentile.
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	counts := func(i int) int64 { return 1 }
+	bounds := func(i int) (float64, float64) { return float64(i), float64(i + 1) }
+	for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+		got := BucketPercentile(10, p, 10, counts, bounds)
+		want := Percentile(xs, p)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("BucketPercentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestHistogramPercentileAgreesWithSamples(t *testing.T) {
+	// Binning quantizes values to the bucket grid, so the binned
+	// percentile under the shared Rank rule must track the raw-sample
+	// percentile to within one bucket width (and stay inside [Min, Max]).
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	h := NewHistogram(xs, 8)
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	for _, p := range []float64{0, 50, 75, 100} {
+		got := h.Percentile(p)
+		want := Percentile(xs, p)
+		if math.Abs(got-want) > width {
+			t.Fatalf("Histogram.Percentile(%v) = %v, want %v within %v", p, got, want, width)
+		}
+		if got < h.Min || got > h.Max {
+			t.Fatalf("Histogram.Percentile(%v) = %v outside [%v, %v]", p, got, h.Min, h.Max)
+		}
+	}
+}
+
+func TestHistogramPercentileDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{42, 42, 42}, 4)
+	for _, p := range []float64{0, 50, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Fatalf("degenerate Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-histogram Percentile did not panic")
+		}
+	}()
+	(&Histogram{Counts: make([]int, 4)}).Percentile(50)
+}

@@ -31,3 +31,14 @@ func BenchmarkSinkEventing(b *testing.B) {
 		s.CounterEvent(int64(i), 0, "offload.queue_depth", int64(i&7))
 	}
 }
+
+// BenchmarkSinkCountingKeyed is the interned fast path: one array index per
+// CountKey. The gap between this and BenchmarkSinkCounting is what the key
+// interning buys at every hot emission site (BENCH_PR4.json's counters
+// budget rides on it).
+func BenchmarkSinkCountingKeyed(b *testing.B) {
+	s := NewSink(NewCounters(), nil)
+	for i := 0; i < b.N; i++ {
+		s.CountKey(KeyHeapQueries, 1)
+	}
+}

@@ -14,13 +14,22 @@ import (
 // to compare files with different schemas.
 const CountersSchema = "mklite-counters/v1"
 
-// Counters is the aggregating backend: a flat map of monotonic mechanism
-// counts keyed by dotted names ("heap.grows", "syscall.brk",
-// "mem.fault.4KiB", "offload.rtt_ns"). Exports are always sorted by key so
-// counter output is byte-stable. Not safe for concurrent use: one Counters
-// per run, merged after the par fan-out joins.
+// Counters is the aggregating backend: monotonic mechanism counts keyed by
+// dotted names ("heap.grows", "syscall.brk", "mem.fault.4KiB",
+// "offload.rtt_ns"). Exports are always sorted by key so counter output is
+// byte-stable. Not safe for concurrent use: one Counters per run, merged
+// after the par fan-out joins.
+//
+// Storage is two-tier: the interned hot names (trace.Key) live in a dense
+// slice indexed directly — no hashing on the emission path — while dynamic
+// names fall back to a map. Add routes a string that names a Key to the
+// dense slot, so the two APIs can never split one counter in two; the
+// touched bitmap preserves the map semantics that an Add-ed counter exists
+// (and exports) even at value zero.
 type Counters struct {
-	m map[string]int64
+	m       map[string]int64
+	keys    [numKeys]int64
+	touched [numKeys]bool
 }
 
 // NewCounters returns an empty counter set.
@@ -28,32 +37,91 @@ func NewCounters() *Counters {
 	return &Counters{m: map[string]int64{}}
 }
 
+// AddKey accumulates delta into an interned counter: one array index, no
+// string hashing. The hot emission sites (heap engine, fault path, step
+// loop) use this form.
+func (c *Counters) AddKey(k Key, delta int64) {
+	c.keys[k] += delta
+	c.touched[k] = true
+}
+
+// MaxKey raises an interned counter to v if v exceeds the current value.
+func (c *Counters) MaxKey(k Key, v int64) {
+	if v > c.keys[k] {
+		c.keys[k] = v
+		c.touched[k] = true
+	}
+}
+
 // Add accumulates delta into the named counter.
-func (c *Counters) Add(name string, delta int64) { c.m[name] += delta }
+func (c *Counters) Add(name string, delta int64) {
+	if k, ok := keyByName[name]; ok {
+		c.AddKey(k, delta)
+		return
+	}
+	c.m[name] += delta
+}
 
 // Max raises the named counter to v if v exceeds the current value. Used for
 // peak-style counters ("heap.peak_bytes") that are maxima, not sums.
 func (c *Counters) Max(name string, v int64) {
+	if k, ok := keyByName[name]; ok {
+		c.MaxKey(k, v)
+		return
+	}
 	if v > c.m[name] {
 		c.m[name] = v
 	}
 }
 
 // Get returns the named counter (0 when absent).
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	if k, ok := keyByName[name]; ok {
+		return c.keys[k]
+	}
+	return c.m[name]
+}
+
+// GetKey returns an interned counter's value.
+func (c *Counters) GetKey(k Key) int64 { return c.keys[k] }
 
 // Len returns the number of distinct counters.
-func (c *Counters) Len() int { return len(c.m) }
+func (c *Counters) Len() int {
+	n := len(c.m)
+	for _, t := range c.touched {
+		if t {
+			n++
+		}
+	}
+	return n
+}
 
 // Names returns the counter names sorted.
-func (c *Counters) Names() []string { return slices.Sorted(maps.Keys(c.m)) }
+func (c *Counters) Names() []string {
+	names := make([]string, 0, c.Len())
+	for k, t := range c.touched {
+		if t {
+			names = append(names, keyNames[k])
+		}
+	}
+	names = append(names, slices.Sorted(maps.Keys(c.m))...)
+	slices.Sort(names)
+	return names
+}
 
-// Map returns a copy of the counters.
+// Map returns a copy of the counters (dense and dynamic tiers united).
 func (c *Counters) Map() map[string]int64 {
-	if len(c.m) == 0 {
+	if c.Len() == 0 {
 		return nil
 	}
-	return maps.Clone(c.m)
+	out := make(map[string]int64, c.Len())
+	maps.Copy(out, c.m)
+	for k, t := range c.touched {
+		if t {
+			out[keyNames[k]] = c.keys[k]
+		}
+	}
+	return out
 }
 
 // Merge adds every counter of o into c. Merging is commutative for Add-style
@@ -63,7 +131,13 @@ func (c *Counters) Merge(o *Counters) {
 	if o == nil {
 		return
 	}
-	for _, k := range o.Names() {
+	for k, t := range o.touched {
+		if t {
+			c.keys[k] += o.keys[k]
+			c.touched[k] = true
+		}
+	}
+	for _, k := range slices.Sorted(maps.Keys(o.m)) {
 		c.m[k] += o.m[k]
 	}
 }
@@ -71,7 +145,7 @@ func (c *Counters) Merge(o *Counters) {
 // MergeMap adds a plain counter map (e.g. a facade Result.Counters) into c.
 func (c *Counters) MergeMap(m map[string]int64) {
 	for _, k := range slices.Sorted(maps.Keys(m)) {
-		c.m[k] += m[k]
+		c.Add(k, m[k])
 	}
 }
 
@@ -84,7 +158,11 @@ type counterFile struct {
 // WriteJSON writes the schema-versioned counter dump. encoding/json sorts
 // map keys, so the bytes are deterministic.
 func (c *Counters) WriteJSON(w io.Writer) error {
-	out, err := json.MarshalIndent(counterFile{Schema: CountersSchema, Counters: c.m}, "", "  ")
+	m := c.Map()
+	if m == nil {
+		m = map[string]int64{} // keep `"counters": {}` for an empty set
+	}
+	out, err := json.MarshalIndent(counterFile{Schema: CountersSchema, Counters: m}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -23,22 +23,47 @@
 // carry a sink itself.
 package trace
 
-// Sink is one run's tracing destination. Both backends are optional: a nil
-// *Sink (or a sink with neither backend) records nothing. Sinks are not safe
+// Observer receives distribution-grade observations — latency samples,
+// per-rank samples, phase time, gauges — alongside the flat counters. It is
+// how internal/metrics hooks into the emission sites without trace importing
+// metrics. Implementations follow the same contract as the sink itself:
+// per-run, single-goroutine, purely passive.
+type Observer interface {
+	// Observe records one sample of the named distribution (values are
+	// virtual nanoseconds unless the name says otherwise).
+	Observe(name string, v int64)
+	// ObserveRank records one sample of the named per-rank distribution.
+	ObserveRank(name string, rank int, v int64)
+	// AddPhase accumulates d virtual nanoseconds into the named phase.
+	AddPhase(name string, d int64)
+	// SetGauge sets the named gauge to its latest value.
+	SetGauge(name string, v int64)
+}
+
+// Sink is one run's tracing destination. All backends are optional: a nil
+// *Sink (or a sink with no backend) records nothing. Sinks are not safe
 // for concurrent use — one sink per run, created inside the par closure that
 // owns the run.
 type Sink struct {
 	counters *Counters
 	events   *Events
+	obs      Observer
 }
 
 // NewSink bundles the given backends. Either may be nil; if both are nil the
 // result is nil so that downstream nil-checks stay on the fast path.
 func NewSink(c *Counters, e *Events) *Sink {
-	if c == nil && e == nil {
+	return NewSinkObs(c, e, nil)
+}
+
+// NewSinkObs is NewSink with a metrics observer attached as a third backend.
+// Pass a concrete non-nil observer or the untyped nil — a typed-nil
+// interface would defeat the all-nil fast-path collapse.
+func NewSinkObs(c *Counters, e *Events, obs Observer) *Sink {
+	if c == nil && e == nil && obs == nil {
 		return nil
 	}
-	return &Sink{counters: c, events: e}
+	return &Sink{counters: c, events: e, obs: obs}
 }
 
 // Counting reports whether a counters backend is attached. Hot loops may
@@ -64,6 +89,18 @@ func (s *Sink) Events() *Events {
 	return s.events
 }
 
+// Observing reports whether a metrics observer is attached. Hot loops may
+// hoist this into a local to skip per-iteration work.
+func (s *Sink) Observing() bool { return s != nil && s.obs != nil }
+
+// Observer returns the attached observer (nil when absent).
+func (s *Sink) Observer() Observer {
+	if s == nil {
+		return nil
+	}
+	return s.obs
+}
+
 // Count adds delta to the named counter.
 func (s *Sink) Count(name string, delta int64) {
 	if s == nil || s.counters == nil {
@@ -78,6 +115,56 @@ func (s *Sink) CountMax(name string, v int64) {
 		return
 	}
 	s.counters.Max(name, v)
+}
+
+// CountKey adds delta to an interned counter — the hot-path form of Count:
+// one pointer test plus one array index, no string hashing.
+func (s *Sink) CountKey(k Key, delta int64) {
+	if s == nil || s.counters == nil {
+		return
+	}
+	s.counters.AddKey(k, delta)
+}
+
+// CountMaxKey raises an interned counter to v if v is larger.
+func (s *Sink) CountMaxKey(k Key, v int64) {
+	if s == nil || s.counters == nil {
+		return
+	}
+	s.counters.MaxKey(k, v)
+}
+
+// Observe forwards one distribution sample to the observer.
+func (s *Sink) Observe(name string, v int64) {
+	if s == nil || s.obs == nil {
+		return
+	}
+	s.obs.Observe(name, v)
+}
+
+// ObserveRank forwards one per-rank distribution sample to the observer.
+func (s *Sink) ObserveRank(name string, rank int, v int64) {
+	if s == nil || s.obs == nil {
+		return
+	}
+	s.obs.ObserveRank(name, rank, v)
+}
+
+// Phase accumulates d virtual nanoseconds of the named phase into the
+// observer's per-phase breakdown.
+func (s *Sink) Phase(name string, d int64) {
+	if s == nil || s.obs == nil {
+		return
+	}
+	s.obs.AddPhase(name, d)
+}
+
+// Gauge forwards the named gauge's latest value to the observer.
+func (s *Sink) Gauge(name string, v int64) {
+	if s == nil || s.obs == nil {
+		return
+	}
+	s.obs.SetGauge(name, v)
 }
 
 // Begin opens a duration span at virtual time ts (nanoseconds).

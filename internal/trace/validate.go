@@ -4,16 +4,48 @@ import (
 	"encoding/json"
 	"fmt"
 	"maps"
+	"math"
 	"slices"
 )
 
 // rawEvent mirrors the JSON shape for validation.
 type rawEvent struct {
 	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
 	Ph   string  `json:"ph"`
 	TS   float64 `json:"ts"`
 	Pid  int64   `json:"pid"`
 	Tid  int64   `json:"tid"`
+}
+
+// ParseEvents parses a Chrome trace-event export produced by Events.JSON
+// back into Event records — timestamps converted from the format's
+// microsecond floats back to virtual nanoseconds — plus the ring's
+// dropped-event count. It checks the schema but not span balance; run
+// Validate first when that matters (the flame exporter does).
+func ParseEvents(data []byte) ([]Event, int64, error) {
+	var tr rawTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, 0, fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if tr.OtherData.Schema != EventsSchema {
+		return nil, 0, fmt.Errorf("trace: schema %q, want %q", tr.OtherData.Schema, EventsSchema)
+	}
+	out := make([]Event, 0, len(tr.TraceEvents))
+	for i, ev := range tr.TraceEvents {
+		if len(ev.Ph) != 1 {
+			return nil, 0, fmt.Errorf("trace: event %d: phase %q", i, ev.Ph)
+		}
+		out = append(out, Event{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   ev.Ph[0],
+			TS:   int64(math.Round(ev.TS * 1000)),
+			Pid:  int32(ev.Pid),
+			Tid:  int32(ev.Tid),
+		})
+	}
+	return out, tr.OtherData.Dropped, nil
 }
 
 type rawTrace struct {

@@ -8,6 +8,7 @@ import (
 	"mklite/internal/kernel"
 	"mklite/internal/linuxos"
 	"mklite/internal/mckernel"
+	"mklite/internal/metrics"
 	"mklite/internal/mos"
 	"mklite/internal/nodesim"
 	"mklite/internal/noise"
@@ -263,6 +264,75 @@ func MeasureUtilization(seed uint64, iterations int) []UtilizationSample {
 			Kernel:          e.k,
 			MeanUtilization: s.Mean,
 			WorstWindow:     s.Min,
+		})
+	}
+	return out
+}
+
+// NoiseDistribution is one kernel's FWQ detour distribution measured
+// through the metrics histogram path: every positive per-iteration detour
+// recorded into a log-bucketed histogram, with the headline percentiles in
+// nanoseconds. TailRatio (p99.9 over p50) is the paper's noise
+// fingerprint: Linux's daemon tail pushes it past 10x while the LWKs'
+// residual housekeeping keeps it near 1.
+type NoiseDistribution struct {
+	Kernel   Kernel
+	Count    int64
+	MinNs    int64
+	MaxNs    int64
+	P50Ns    float64
+	P90Ns    float64
+	P99Ns    float64
+	P999Ns   float64
+	MeanNs   float64
+	Rendered string // the mkprof-style table for this kernel's registry
+}
+
+// TailRatio returns p99.9 over p50 (0 when the median is 0).
+func (d NoiseDistribution) TailRatio() float64 {
+	if d.P50Ns == 0 {
+		return 0
+	}
+	return d.P999Ns / d.P50Ns
+}
+
+// MeasureNoiseDistributions runs the FWQ microbenchmark on each kernel's
+// noise profile with a metrics registry attached and returns the detour
+// distributions. The sampling sequence is identical to MeasureNoise at the
+// same seed and iteration count — the registry only observes.
+func MeasureNoiseDistributions(seed uint64, quantumSecs float64, iterations int) []NoiseDistribution {
+	if iterations <= 0 {
+		iterations = 5000
+	}
+	quantum := sim.DurationOf(quantumSecs)
+	if quantum <= 0 {
+		quantum = sim.Millisecond
+	}
+	profiles := []struct {
+		k Kernel
+		p *noise.Profile
+	}{
+		{Linux, noise.LinuxTuned()},
+		{McKernel, noise.McKernelProfile()},
+		{MOS, noise.MOSProfile()},
+	}
+	var out []NoiseDistribution
+	for _, e := range profiles {
+		reg := metrics.NewRegistry()
+		noise.RunFWQTo(sim.NewRNG(seed), e.p, 1, quantum, iterations,
+			trace.NewSinkObs(nil, nil, reg))
+		h := reg.Histogram("fwq.detour_ns")
+		out = append(out, NoiseDistribution{
+			Kernel:   e.k,
+			Count:    h.Count(),
+			MinNs:    h.Min(),
+			MaxNs:    h.Max(),
+			P50Ns:    h.Percentile(50),
+			P90Ns:    h.Percentile(90),
+			P99Ns:    h.Percentile(99),
+			P999Ns:   h.Percentile(99.9),
+			MeanNs:   h.Mean(),
+			Rendered: reg.Report().Render(),
 		})
 	}
 	return out

@@ -22,6 +22,7 @@
 package mklite
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,7 @@ import (
 	"mklite/internal/fabric"
 	"mklite/internal/kernel"
 	"mklite/internal/mckernel"
+	"mklite/internal/metrics"
 	"mklite/internal/mos"
 	"mklite/internal/trace"
 )
@@ -101,6 +103,17 @@ type Options struct {
 	// the ring overflows, the oldest events are evicted and the export
 	// notes the count.
 	EventCap int
+	// Metrics attaches a metrics registry to the run: latency histograms,
+	// per-rank distributions, per-phase virtual-time accounting and
+	// gauges. Result.MetricsJSON holds the mklite-metrics/v1 report and
+	// Result.MetricsText its rendered tables. Like counters and events,
+	// metrics only observe — every other Result field is byte-identical
+	// with or without them.
+	Metrics bool
+	// Flame additionally exports the run's event timeline as a
+	// virtual-time-weighted folded-stack flame graph (Result.Folded,
+	// loadable by speedscope/inferno/flamegraph.pl). Implies Events.
+	Flame bool
 }
 
 // StepTrace is one timestep's attribution, in seconds.
@@ -183,6 +196,14 @@ type Result struct {
 	// was set. Excluded from JSON marshalling — it is a document of its
 	// own, not a field; write it to a .trace.json file instead.
 	TraceJSON []byte `json:"-"`
+	// MetricsJSON holds the mklite-metrics/v1 report when Options.Metrics
+	// was set, and MetricsText its rendered tables. Documents of their
+	// own, like TraceJSON.
+	MetricsJSON []byte `json:"-"`
+	MetricsText string `json:"-"`
+	// Folded holds the collapsed-stack flame-graph export when
+	// Options.Flame was set.
+	Folded string `json:"-"`
 }
 
 func toJob(appName string, k Kernel, nodes int, seed uint64, opts *Options) (cluster.Job, error) {
@@ -228,14 +249,20 @@ func Run(appName string, k Kernel, nodes int, seed uint64, opts *Options) (Resul
 	}
 	var ctrs *trace.Counters
 	var evs *trace.Events
+	var reg *metrics.Registry
 	if opts != nil {
 		if opts.Counters {
 			ctrs = trace.NewCounters()
 		}
-		if opts.Events {
+		if opts.Events || opts.Flame {
 			evs = trace.NewEvents(opts.EventCap)
 		}
-		job.Sink = trace.NewSink(ctrs, evs)
+		var obs trace.Observer
+		if opts.Metrics {
+			reg = metrics.NewRegistry()
+			obs = reg
+		}
+		job.Sink = trace.NewSinkObs(ctrs, evs, obs)
 	}
 	res, err := cluster.Run(job)
 	if err != nil {
@@ -273,6 +300,18 @@ func Run(appName string, k Kernel, nodes int, seed uint64, opts *Options) (Resul
 	}
 	if evs != nil {
 		out.TraceJSON = evs.JSON()
+		if opts.Flame {
+			out.Folded = metrics.Folded(evs.Snapshot())
+		}
+	}
+	if reg != nil {
+		rep := reg.Report()
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			return Result{}, err
+		}
+		out.MetricsJSON = buf.Bytes()
+		out.MetricsText = rep.Render()
 	}
 	return out, nil
 }
