@@ -1,0 +1,146 @@
+package mklite
+
+// Fault-layer overhead smoke, measured best-of-N via bench_util_test.go
+// into BENCH_PR5.json (same "mklite-bench/v1" schema as BENCH_PR4.json,
+// gated by cmd/mkbench in CI). The budget:
+//
+//   - faults-off must be (nearly) free: NewInjector returns nil for an
+//     empty plan and every injection site reduces to one nil-receiver
+//     test, so "faults_off_overhead_percent" carries a <=2% ceiling.
+//     The probe attaches an *empty* fault.Plan to every job — the worst
+//     faults-off case, paying Empty()/Validate() plus the nil fast path
+//     at every site — against the no-plan baseline, interleaved.
+//
+// An active plan's cost is recorded too ("faults-straggler"), for the
+// trajectory only: injecting faults is supposed to cost time.
+//
+// Outputs are already proven byte-identical between the two faults-off
+// modes by determinism_test.go; this file only measures time.
+
+import (
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"mklite/internal/benchfmt"
+	"mklite/internal/fault"
+	"mklite/internal/sim"
+)
+
+// faultBenchReps: the faults-off budget (2%) is less than half the
+// counters budget on the same workload, so this smoke takes more
+// interleaved reps than benchReps and a sturdier estimator than
+// ratio-of-bests.
+const faultBenchReps = 9
+
+// benchPairedOverhead times base and probe in adjacent pairs and derives
+// the overhead as the *median of the per-pair ratios*: each probe run is
+// compared only against the base run timed next to it, so slow drift in
+// machine load cancels pair by pair, and the median discards the pairs a
+// scheduler hiccup landed in — the ratio-of-bests estimator
+// (benchInterleaved) spans the whole window and wobbles several percent on
+// a busy runner, too coarse for this benchmark's 2% budget. Within a pair
+// the order alternates (base first on even pairs, probe first on odd) so
+// the second slot's warm-cache advantage cancels across pairs too.
+func benchPairedOverhead(n int, base, probe func()) (baseBest, baseSpread, probeBest, probeSpread, overheadPct float64) {
+	baseS, probeS := make([]float64, n), make([]float64, n)
+	ratios := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			baseS[i] = timed(base)
+			probeS[i] = timed(probe)
+		} else {
+			probeS[i] = timed(probe)
+			baseS[i] = timed(base)
+		}
+		ratios[i] = probeS[i] / baseS[i]
+	}
+	baseBest, baseSpread = bestSpread(baseS)
+	probeBest, probeSpread = bestSpread(probeS)
+	sort.Float64s(ratios)
+	median := ratios[n/2]
+	if n%2 == 0 {
+		median = (ratios[n/2-1] + ratios[n/2]) / 2
+	}
+	return baseBest, baseSpread, probeBest, probeSpread, (median - 1) * 100
+}
+
+var benchPR5 struct {
+	mu   sync.Mutex
+	file *benchfmt.File
+}
+
+func benchPR5File() *benchfmt.File {
+	if benchPR5.file == nil {
+		benchPR5.file = benchfmt.New("figure4-quick", runtime.GOMAXPROCS(0))
+	}
+	return benchPR5.file
+}
+
+// flushBenchPR5 rewrites BENCH_PR5.json — called with the lock held after
+// every update, so the artifact is valid however many benchmarks the
+// -bench filter selects.
+func flushBenchPR5(b *testing.B) {
+	b.Helper()
+	out, err := benchPR5.file.Marshal()
+	if err != nil {
+		b.Fatalf("marshal BENCH_PR5: %v", err)
+	}
+	if err := os.WriteFile("BENCH_PR5.json", out, 0o644); err != nil {
+		b.Fatalf("write BENCH_PR5.json: %v", err)
+	}
+}
+
+func recordBenchPR5Mode(b *testing.B, mode string, reps int, best, spread float64) {
+	b.Helper()
+	benchPR5.mu.Lock()
+	defer benchPR5.mu.Unlock()
+	f := benchPR5File()
+	f.Modes[mode] = benchfmt.Mode{Reps: reps, Seconds: best, SpreadPercent: spread}
+	flushBenchPR5(b)
+}
+
+func recordBenchPR5Derived(b *testing.B, name string, value float64) {
+	b.Helper()
+	benchPR5.mu.Lock()
+	defer benchPR5.mu.Unlock()
+	f := benchPR5File()
+	if f.Derived == nil {
+		f.Derived = map[string]float64{}
+	}
+	f.Derived[name] = value
+	flushBenchPR5(b)
+}
+
+// BenchmarkFaultsOffOverhead interleaves the no-plan baseline with an
+// empty-plan probe over the Figure 4 quick grid and derives
+// "faults_off_overhead_percent" — the CI budget proving the fault layer
+// costs nothing until a plan actually injects something.
+func BenchmarkFaultsOffOverhead(b *testing.B) {
+	baseBest, baseSpread, probeBest, probeSpread, overhead := benchPairedOverhead(faultBenchReps,
+		figure4Run(b, nil),
+		figure4Run(b, func(cfg *ExperimentConfig) { cfg.Faults = &fault.Plan{} }))
+	b.ReportMetric(probeBest, "wall-s/op")
+	b.ReportMetric(probeSpread, "spread-%")
+	b.ReportMetric(overhead, "overhead-%")
+	recordBenchPR5Mode(b, "faults-off", faultBenchReps, probeBest, probeSpread)
+	recordBenchPR5Mode(b, "faults-off-baseline", faultBenchReps, baseBest, baseSpread)
+	recordBenchPR5Derived(b, "faults_off_overhead_percent", overhead)
+}
+
+// BenchmarkFaultsStraggler records the cost of an *active* plan — one
+// fixed-detour straggler plus a mildly lossy fabric on every job of the
+// grid — purely for the performance trajectory; no budget applies.
+func BenchmarkFaultsStraggler(b *testing.B) {
+	plan := &fault.Plan{
+		Stragglers: []fault.Straggler{{Node: 0, Extra: 2 * sim.Millisecond}},
+		Link:       &fault.LinkFault{LossProb: 0.001, Timeout: 50 * sim.Microsecond},
+	}
+	best, spread := benchBestOf(b, figure4Run(b,
+		func(cfg *ExperimentConfig) { cfg.Faults = plan }))
+	b.ReportMetric(best, "wall-s/op")
+	b.ReportMetric(spread, "spread-%")
+	recordBenchPR5Mode(b, "faults-straggler", benchReps, best, spread)
+}

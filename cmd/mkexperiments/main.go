@@ -8,7 +8,7 @@
 //	mkexperiments -workers 1      # sequential fan-out (same output, slower)
 //
 // Artifacts: fig4, fig5a, fig5b, fig6a, fig6b, table1, ltp, brktrace,
-// proxyopts, ccsqcd-ddr, corespec, quadrant, ablations.
+// proxyopts, ccsqcd-ddr, corespec, quadrant, ablations, resilience.
 package main
 
 import (
@@ -29,10 +29,16 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel fan-out width over independent runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any width")
 		counters = flag.Bool("counters", false, "aggregate and print mechanism counters per figure")
 		metricsF = flag.Bool("metrics", false, "aggregate and print the metrics profile (phases, latency histograms) per figure")
+		faults   = flag.String("faults", "", "fault plan applied to every run, e.g. 'link:loss=0.001,timeout=50us' (see docs/FAULTS.md)")
 	)
 	flag.Parse()
 
 	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers, Counters: *counters, Metrics: *metricsF}
+	if *faults != "" {
+		plan, err := mklite.ParseFaults(*faults)
+		check(err)
+		cfg.Faults = plan
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
@@ -165,6 +171,14 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("%-36s %10.4g (%.1f%% of SNC-4 Linux)\n", r.Config, r.FOM, r.Percent)
 		}
+		fmt.Println()
+	}
+	if sel("resilience") {
+		fig, err := mklite.ReproduceResilience(cfg)
+		check(err)
+		fmt.Println("==== Resilience: one straggler poisons the allreduce (MiniFE) ====")
+		fmt.Println("(fixed per-step detour on one node; slowdown grows as the job scales out)")
+		fmt.Print(fig.Render())
 		fmt.Println()
 	}
 	if sel("ablations") {

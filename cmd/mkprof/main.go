@@ -91,7 +91,7 @@ func record(args []string) {
 		}()
 	}
 
-	res := run(*app, *kern, *nodes, *seed, &mklite.Options{Metrics: true})
+	res := run(*app, *kern, *nodes, *seed, &mklite.Options{Observe: mklite.Observe{Metrics: true}})
 	path := *out
 	if path == "" {
 		path = fmt.Sprintf("%s-%s-%d.metrics.json", res.App, *kern, *nodes)
@@ -141,7 +141,7 @@ func flame(args []string) {
 		}
 		src = fs.Arg(0)
 	} else {
-		res := run(*app, *kern, *nodes, *seed, &mklite.Options{Flame: true})
+		res := run(*app, *kern, *nodes, *seed, &mklite.Options{Observe: mklite.Observe{Flame: true}})
 		folded = res.Folded
 		src = fmt.Sprintf("%s on %s, %d nodes", res.App, res.Kernel, res.Nodes)
 	}

@@ -39,6 +39,7 @@ func main() {
 		metricsF  = flag.Bool("metrics", false, "collect and print the metrics profile (phases, latency histograms, gauges)")
 		metricsJ  = flag.String("metrics-json", "", "write the run's mklite-metrics/v1 JSON report to this file (implies -metrics)")
 		traceOut  = flag.String("trace-json", "", "write the run's Chrome trace-event JSON to this file")
+		faults    = flag.String("faults", "", "fault plan, e.g. 'straggler:node=3,factor=2;retry:max=2' (see docs/FAULTS.md)")
 		list      = flag.Bool("list", false, "list applications and exit")
 	)
 	flag.Parse()
@@ -57,10 +58,19 @@ func main() {
 		DisableSchedYield: *noYield,
 		UserSpaceFabric:   *usFabric,
 		Quadrant:          *quadrant,
-		Trace:             *trace,
-		Counters:          *counters,
-		Metrics:           *metricsF || *metricsJ != "",
-		Events:            *traceOut != "",
+		Observe: mklite.Observe{
+			Trace:    *trace,
+			Counters: *counters,
+			Metrics:  *metricsF || *metricsJ != "",
+			Events:   *traceOut != "",
+		},
+	}
+	if *faults != "" {
+		plan, err := mklite.ParseFaults(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Faults = plan
 	}
 
 	if *sweep {
@@ -144,13 +154,20 @@ func main() {
 			r.HeapQueries, r.HeapGrows, r.HeapShrinks, r.HeapPeakBytes, r.HeapGrownBytes, r.HeapFaults)
 	}
 	fmt.Printf("  MCDRAM residency: %d bytes; demand-paged ranks: %d\n", r.MCDRAMBytes, r.DemandRanks)
+	if r.Retries > 0 || r.Degraded {
+		fmt.Printf("  resilience: %d retries, %.4gs recovery", r.Retries, r.RecoverySeconds)
+		if r.Degraded {
+			fmt.Printf(", degraded (-%d nodes)", r.LostNodes)
+		}
+		fmt.Println()
+	}
 	if *counters && len(r.Counters) > 0 {
 		fmt.Println("  mechanism counters:")
 		for line := range strings.Lines(mklite.FormatCounters(r.Counters)) {
 			fmt.Print("    ", line)
 		}
 	}
-	if opts.Metrics && r.MetricsText != "" {
+	if opts.Observe.Metrics && r.MetricsText != "" {
 		fmt.Println("  metrics profile:")
 		for line := range strings.Lines(r.MetricsText) {
 			fmt.Print("    ", line)

@@ -69,9 +69,11 @@ func main() {
 		fatal(err)
 	}
 	res, err := mklite.Run(*appName, k, *nodes, *seed, &mklite.Options{
-		Counters: true,
-		Events:   true,
-		EventCap: *eventCap,
+		Observe: mklite.Observe{
+			Counters: true,
+			Events:   true,
+			EventCap: *eventCap,
+		},
 	})
 	if err != nil {
 		fatal(err)

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"mklite/internal/experiments"
+	"mklite/internal/fault"
+	"mklite/internal/sim"
 )
 
 // The determinism contract (internal/sim): a run is a pure function of
@@ -205,6 +207,59 @@ func TestTracingIsPassiveUnderPar(t *testing.T) {
 				t.Fatalf("figure %d counters differ between width 1 and width %d:\n  width 1: %v\n  width %d: %v", i, w, wantCounters[i], w, ctrs[i])
 			}
 		}
+	}
+}
+
+// figure5bFaultsDigest runs the quick Figure 5b sweep at the given fan-out
+// width with the given fault plan attached to every job, hashing the
+// rendered figure.
+func figure5bFaultsDigest(t *testing.T, workers int, plan *fault.Plan) string {
+	t.Helper()
+	fig, err := experiments.Figure5b(experiments.Config{
+		Reps: 2, Seed: 1, Quick: true, Workers: workers, Faults: plan,
+	})
+	if err != nil {
+		t.Fatalf("Figure5b(workers=%d, faults=%v): %v", workers, plan, err)
+	}
+	h := sha256.New()
+	fmt.Fprint(h, fig.Render())
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestEmptyFaultPlanIsByteIdentical: the fault subsystem's determinism
+// contract (internal/fault, point 1): a nil or empty Plan must leave every
+// simulated output byte-identical to a run with no fault subsystem at all —
+// the injector is nil, no stream is drawn, no branch is taken. Checked at
+// fan-out widths 1 and GOMAXPROCS so the guarantee holds under the par
+// pipeline too, and meant to run under -race like the rest of this file.
+// An active plan must diverge, or this test would pass vacuously.
+func TestEmptyFaultPlanIsByteIdentical(t *testing.T) {
+	want := figure5bFaultsDigest(t, 1, nil)
+	for _, w := range []int{1, 0} {
+		for _, plan := range []*fault.Plan{nil, {}, {Stragglers: []fault.Straggler{}}} {
+			if got := figure5bFaultsDigest(t, w, plan); got != want {
+				t.Fatalf("digest with empty plan %+v at width %d differs from faultless run:\n  faultless: %s\n  got:       %s\nan empty fault plan has perturbed the simulation", plan, w, want, got)
+			}
+		}
+	}
+	active := &fault.Plan{Stragglers: []fault.Straggler{{Node: 0, Extra: 2 * sim.Millisecond}}}
+	if got := figure5bFaultsDigest(t, 1, active); got == want {
+		t.Fatalf("digest with an active straggler plan equals the faultless digest (%s): faults are not being injected", want)
+	}
+}
+
+// TestFaultPlanWidthIndependent: an *active* plan's outcome must also be a
+// pure function of (model, seed) — never of the par fan-out width. The
+// injector is per-run state created inside the worker closure (mklint's
+// parshare rule), so sequential and GOMAXPROCS runs must agree byte for byte.
+func TestFaultPlanWidthIndependent(t *testing.T) {
+	plan := &fault.Plan{
+		Stragglers: []fault.Straggler{{Node: 0, Extra: 2 * sim.Millisecond}},
+		Link:       &fault.LinkFault{LossProb: 0.001, Timeout: 50 * sim.Microsecond},
+	}
+	want := figure5bFaultsDigest(t, 1, plan)
+	if got := figure5bFaultsDigest(t, 0, plan); got != want {
+		t.Fatalf("active-plan digest differs between width 1 and GOMAXPROCS:\n  width 1: %s\n  width 0: %s\nfault draws have leaked across par workers", want, got)
 	}
 }
 

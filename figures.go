@@ -6,6 +6,7 @@ import (
 
 	"mklite/internal/apps"
 	"mklite/internal/experiments"
+	"mklite/internal/fault"
 	"mklite/internal/ltp"
 	"mklite/internal/stats"
 )
@@ -30,11 +31,15 @@ type ExperimentConfig struct {
 	// across every run behind a figure into Figure.MetricsText (rendered
 	// figure output is unchanged).
 	Metrics bool
+	// Faults schedules deterministic fault injection for every run behind
+	// a figure (see ParseFaults and docs/FAULTS.md). A nil or empty plan
+	// leaves all output byte-identical to a faultless run.
+	Faults *fault.Plan
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
 	return experiments.Config{Reps: c.Reps, Seed: c.Seed, Quick: c.Quick,
-		Workers: c.Workers, Counters: c.Counters, Metrics: c.Metrics}
+		Workers: c.Workers, Counters: c.Counters, Metrics: c.Metrics, Faults: c.Faults}
 }
 
 // Point is one measurement of a scaling series.
@@ -169,6 +174,21 @@ func ReproduceFigure6a(cfg ExperimentConfig) (Figure, error) {
 // ReproduceFigure6b regenerates the LAMMPS scaling plot (timesteps/s).
 func ReproduceFigure6b(cfg ExperimentConfig) (Figure, error) {
 	f, err := experiments.Figure6b(cfg.internal())
+	if err != nil {
+		return Figure{}, err
+	}
+	return fromStatsFigure(f), nil
+}
+
+// ReproduceResilience runs the fault-injection experiment "one slow node
+// poisons an allreduce at N nodes": MiniFE clean vs a single fixed-detour
+// straggler (fault.Straggler with Extra set) at every node count on all
+// three kernels, reported as percent slowdown. The curve rises with node
+// count: strong scaling shrinks the healthy per-step time while the
+// straggler's detour — absorbed by every rank at each allreduce — stays
+// fixed.
+func ReproduceResilience(cfg ExperimentConfig) (Figure, error) {
+	f, err := experiments.Resilience(cfg.internal())
 	if err != nil {
 		return Figure{}, err
 	}

@@ -31,6 +31,10 @@ var parFuncs = map[string]bool{
 //     increments under the same single-goroutine contract as the sink
 //     that feeds them; a shared registry races and merges rank histograms
 //     in worker order.
+//   - internal/fault: an Injector owns its run's fault RNG stream; sharing
+//     one across jobs makes each job's fault draws depend on which worker
+//     drew first — the exact scheduling leak the fault determinism
+//     contract (internal/fault point 2) forbids.
 var sharedTypeGroups = []struct {
 	pkg   string // import-path suffix of the owning package
 	disp  string // display prefix in diagnostics
@@ -39,6 +43,7 @@ var sharedTypeGroups = []struct {
 	{"internal/sim", "sim", map[string]bool{"RNG": true, "Engine": true, "Proc": true}},
 	{"internal/trace", "trace", map[string]bool{"Sink": true, "Counters": true, "Events": true}},
 	{"internal/metrics", "metrics", map[string]bool{"Registry": true, "Histogram": true}},
+	{"internal/fault", "fault", map[string]bool{"Injector": true}},
 }
 
 // ParShare rejects par.Map closures that capture per-job state — a *sim.RNG
@@ -49,11 +54,11 @@ var sharedTypeGroups = []struct {
 var ParShare = &Analyzer{
 	Name: "parshare",
 	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc), a " +
-		"*trace.Sink (or trace.Counters/trace.Events) or a " +
-		"*metrics.Registry (or metrics.Histogram) across a par.Map " +
-		"closure, and forbid package-level trace sinks and metrics " +
-		"registries; per-job state is derived inside the job and merged " +
-		"after the join",
+		"*trace.Sink (or trace.Counters/trace.Events), a " +
+		"*metrics.Registry (or metrics.Histogram) or a *fault.Injector " +
+		"across a par.Map closure, and forbid package-level trace sinks " +
+		"and metrics registries; per-job state is derived inside the job " +
+		"and merged after the join",
 	Run: runParShare,
 }
 
@@ -155,6 +160,8 @@ func checkClosure(pass *Pass, lit *ast.FuncLit) {
 				hint = "trace.NewSink(trace.NewCounters(), nil), merged in index order after the join"
 			case isMetricsType(v.Type()):
 				hint = "metrics.NewRegistry(), merged in index order after the join"
+			case isFaultType(v.Type()):
+				hint = "fault.NewInjector(plan, sim.StreamSeed(seed, fault.StreamCluster))"
 			}
 			pass.Reportf(id.Pos(), "par closure captures %s %q from an enclosing scope: per-job state must be derived inside the job — %s — or worker scheduling leaks into the results (determinism contract, see docs/LINTING.md)",
 				name, id.Name, hint)
@@ -208,4 +215,11 @@ func isTraceType(t types.Type) bool {
 func isMetricsType(t types.Type) bool {
 	_, gi, _ := guardedNamed(t)
 	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/metrics"
+}
+
+// isFaultType reports whether t is — or points to — a guarded
+// internal/fault type.
+func isFaultType(t types.Type) bool {
+	_, gi, _ := guardedNamed(t)
+	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/fault"
 }

@@ -1,0 +1,49 @@
+// Fixture for the parshare fault rule: a fault.Injector owns its run's
+// fault RNG stream, so capturing one across a par.Map closure makes every
+// job's fault draws depend on worker scheduling and must be flagged;
+// building the injector inside the job from a stream seed must not.
+package parshare
+
+import (
+	"mklite/internal/fault"
+	"mklite/internal/par"
+	"mklite/internal/sim"
+)
+
+func badSharedInjector(plan *fault.Plan, seed uint64) []int {
+	inj := fault.NewInjector(plan, sim.StreamSeed(seed, fault.StreamCluster))
+	return par.Map(8, func(i int) int {
+		n, _ := inj.OffloadStalls(100) // want `par closure captures \*fault\.Injector "inj" from an enclosing scope`
+		return n
+	})
+}
+
+func badSharedInjectorValue(plan *fault.Plan) []bool {
+	var inj fault.Injector
+	_ = inj
+	return par.Map(4, func(i int) bool {
+		r := &inj // want `par closure captures fault\.Injector "inj" from an enclosing scope`
+		return r.Active()
+	})
+}
+
+func goodPerJobInjector(plan *fault.Plan, seed uint64) []int {
+	return par.Map(8, func(i int) int {
+		inj := fault.NewInjector(plan, sim.StreamSeed(sim.StreamSeed(seed, uint64(i)), fault.StreamCluster))
+		n, _ := inj.OffloadStalls(100)
+		return n
+	})
+}
+
+func goodSharedPlan(plan *fault.Plan) []bool {
+	// The Plan is immutable declarative data; only the Injector carries
+	// per-run draw state.
+	return par.Map(8, func(i int) bool {
+		return !plan.Empty()
+	})
+}
+
+func goodInjectorOutsideClosure(plan *fault.Plan, seed uint64) bool {
+	inj := fault.NewInjector(plan, sim.StreamSeed(seed, fault.StreamNode))
+	return inj.Active()
+}

@@ -1,7 +1,11 @@
 package cluster
 
 import (
+	"context"
+	"fmt"
+
 	"mklite/internal/apps"
+	"mklite/internal/fault"
 	"mklite/internal/hw"
 	"mklite/internal/kernel"
 	"mklite/internal/mem"
@@ -81,8 +85,13 @@ func (p stepParts) emitSpans(sink *trace.Sink, start sim.Time) {
 	sink.End(int64(start)+int64(p.total()), 0, 0, "step", "cluster")
 }
 
-// runSteps executes the application's timestep loop.
-func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RNG) Result {
+// runSteps executes the application's timestep loop. inj is this run's
+// fault injector (nil when faults are off — the fast path adds one pointer
+// test per site); stopStep, when >= 0, truncates the run at that step to
+// model an attempt dying mid-flight, in which case the partial result
+// carries the time-to-failure and the end-of-run metrics emission is
+// skipped (only the surviving attempt reports phases and gauges).
+func runSteps(ctx context.Context, k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RNG, inj *fault.Injector, stopStep int) (Result, error) {
 	app := j.App
 	costs := k.Costs()
 	prof := k.Noise()
@@ -188,7 +197,32 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 
 	ioctlOffloaded := k.Table().Get(kernel.SysIoctl) == kernel.Offloaded
 
-	for step := 0; step < app.Timesteps; step++ {
+	// Fault-layer precomputation: the resend wire time for a degraded
+	// link, and the LWK-side offload inflation while a daemon storm
+	// rages. Both are invariant across steps.
+	var linkResend sim.Duration
+	stormScale := 1.0
+	if inj.Active() {
+		linkResend = comm.Retransmit(inj.LinkBytes())
+		if ioctlOffloaded {
+			stormScale = inj.StormOffloadScale()
+		}
+	}
+	// A straggler's excess is absorbed at the next synchronisation point;
+	// steps without one let it accumulate (the healthy nodes run ahead
+	// until something makes them wait).
+	var stragglerPending sim.Duration
+
+	steps := app.Timesteps
+	if stopStep >= 0 && stopStep < steps {
+		steps = stopStep
+	}
+	for step := 0; step < steps; step++ {
+		if step&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("cluster: cancelled at step %d: %w", step, err)
+			}
+		}
 		stepStart := sim.Time(elapsed)
 
 		// Heap activity: every rank replays the per-step brk trace on
@@ -250,6 +284,38 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 			}
 		}
 
+		// Fault layer: a flaky offload channel stalls calls until the
+		// re-issue timeout, and a daemon storm inflates the round trip
+		// (LWKs only — Linux executes natively and never crosses the
+		// channel); a degraded link loses messages, each waiting out the
+		// retransmit timer and paying the wire again.
+		var linkDelay sim.Duration
+		if inj.Active() {
+			if ioctlOffloaded {
+				if stalls, stallTime := inj.OffloadStalls(int(msgs * dsPerMsg)); stalls > 0 {
+					sysTime += stallTime
+					if counting {
+						sink.CountKey(trace.KeyFaultOffloadStalls, int64(stalls))
+						sink.CountKey(trace.KeyFaultOffloadStallNs, int64(stallTime))
+					}
+				}
+				if stormScale > 1 {
+					extra := sim.DurationOf(msgs * dsPerMsg * costs.OffloadRTT.Seconds() * (stormScale - 1))
+					sysTime += extra
+					if counting {
+						sink.CountKey(trace.KeyFaultStormOffloadNs, int64(extra))
+					}
+				}
+			}
+			if n, d := inj.LinkRetransmits(msgs, linkResend); n > 0 {
+				linkDelay = d
+				if counting {
+					sink.CountKey(trace.KeyFaultLinkRetransmits, int64(n))
+					sink.CountKey(trace.KeyFaultLinkDelayNs, int64(d))
+				}
+			}
+		}
+
 		// The slowest rank's local phase gates the node (ranks differ
 		// only in memory placement).
 		var memMax sim.Duration
@@ -259,6 +325,26 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 			}
 		}
 		base := cpuTime + memMax + heapMax + sysTime
+
+		// Fault layer: a straggler's excess over the healthy local phase
+		// is absorbed by the whole job at the step's synchronisation
+		// point — the max-over-ranks semantics that let one slow node
+		// poison a collective. Sync-free steps let it accumulate until
+		// something makes the healthy nodes wait.
+		var stragglerAbs sim.Duration
+		if inj.Active() {
+			stragglerPending += inj.StragglerExcess(step, j.Nodes, base)
+			if stragglerPending > 0 && (collsDue > 0 || haloWire > 0) {
+				stragglerAbs = stragglerPending
+				stragglerPending = 0
+				if counting {
+					sink.CountKey(trace.KeyFaultStragglerNs, int64(stragglerAbs))
+				}
+				if observing {
+					sink.Observe("fault.straggler_ns", int64(stragglerAbs))
+				}
+			}
+		}
 
 		// Interference: global collectives absorb the worst detour of
 		// the whole job; halo exchanges only a neighbourhood's. A step
@@ -311,7 +397,8 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		}
 
 		parts := stepParts{compute: cpuTime, memory: memMax, heap: heapMax,
-			syscall: sysTime, comm: haloWire + collWire, noise: detour}
+			syscall: sysTime, comm: haloWire + collWire + linkDelay,
+			noise: detour + stragglerAbs}
 		if counting {
 			sink.CountKey(trace.KeyNoiseDetourNs, int64(detour))
 		}
@@ -330,7 +417,17 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		parts.addTo(&bd)
 	}
 
-	if observing {
+	if stragglerPending > 0 {
+		// The run ends with the job waiting out the straggler one last
+		// time (no further sync point absorbed it).
+		elapsed += stragglerPending
+		bd.Noise += stragglerPending
+		if counting {
+			sink.CountKey(trace.KeyFaultStragglerNs, int64(stragglerPending))
+		}
+	}
+
+	if observing && stopStep < 0 {
 		// One accumulation per run, derived from the same Breakdown the
 		// results report — the phase table cannot drift from simulated
 		// time.
@@ -346,9 +443,12 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 	}
 
 	work := app.WorkPerStepPerNode(j.Nodes) * float64(app.Timesteps)
-	fom := work / elapsed.Seconds()
-	if !app.PerNode {
-		fom *= float64(j.Nodes)
+	fom := 0.0
+	if elapsed > 0 {
+		fom = work / elapsed.Seconds()
+		if !app.PerNode {
+			fom *= float64(j.Nodes)
+		}
 	}
 	return Result{
 		Elapsed:     elapsed,
@@ -359,7 +459,7 @@ func runSteps(k kernel.Kernel, j Job, comm *mpi.Comm, ns *nodeState, rng *sim.RN
 		MCDRAMBytes: mcdramResidency(k, ns),
 		DemandRanks: countDemandRanks(ns),
 		Steps:       res0Steps,
-	}
+	}, nil
 }
 
 func mcdramResidency(k kernel.Kernel, ns *nodeState) int64 {

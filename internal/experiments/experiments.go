@@ -12,6 +12,7 @@ import (
 
 	"mklite/internal/apps"
 	"mklite/internal/cluster"
+	"mklite/internal/fault"
 	"mklite/internal/kernel"
 	"mklite/internal/metrics"
 	"mklite/internal/par"
@@ -48,6 +49,11 @@ type Config struct {
 	// tables land in Figure.MetricsText. Rendered figure bytes and run
 	// digests are unchanged — metrics only observe.
 	Metrics bool
+	// Faults schedules deterministic fault injection (see internal/fault)
+	// for every run behind a figure. A nil or empty plan leaves all output
+	// byte-identical to a faultless run — determinism_test.go enforces it
+	// across fan-out widths.
+	Faults *fault.Plan
 }
 
 // DefaultConfig mirrors the paper's methodology.
@@ -101,6 +107,9 @@ func measureCounted(cfg Config, job cluster.Job) (stats.Summary, *trace.Counters
 	reps, err := par.MapWidthErr(cfg.Workers, cfg.Reps, func(rep int) (repResult, error) {
 		j := job // per-job copy; the closure shares nothing mutable
 		j.Seed = sim.StreamSeed(cfg.Seed, uint64(rep))
+		if j.Faults == nil {
+			j.Faults = cfg.Faults
+		}
 		var ctrs *trace.Counters
 		var reg *metrics.Registry
 		if cfg.Counters || cfg.Metrics {

@@ -1,0 +1,182 @@
+package experiments
+
+// Golden fault-injection tests: the straggler-allreduce amplification curve
+// and the retry/recovery counter totals pinned as exact values through the
+// same trace counting path the figures report.
+
+import (
+	"testing"
+
+	"mklite/internal/apps"
+	"mklite/internal/cluster"
+	"mklite/internal/fault"
+	"mklite/internal/kernel"
+	"mklite/internal/sim"
+	"mklite/internal/trace"
+)
+
+// TestResilienceAmplificationGrows pins the resilience experiment's shape:
+// a single fixed-detour straggler's relative poisoning of MiniFE must grow
+// strictly with node count on every kernel — strong scaling shrinks the
+// healthy per-step time while the detour, absorbed at every allreduce,
+// stays fixed.
+func TestResilienceAmplificationGrows(t *testing.T) {
+	fig, err := Resilience(Config{Reps: 2, Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("resilience figure has %d series, want 3", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) < 3 {
+			t.Fatalf("%s: %d points, want >= 3 (quick sweep)", s.Name, len(s.Points))
+		}
+		for i := 1; i < len(s.Points); i++ {
+			prev, cur := s.Points[i-1], s.Points[i]
+			if cur.Median <= prev.Median {
+				t.Errorf("%s: slowdown %.3f%% at %d nodes <= %.3f%% at %d nodes; straggler impact must grow with node count",
+					s.Name, cur.Median, cur.Nodes, prev.Median, prev.Nodes)
+			}
+		}
+		if first := s.Points[0].Median; first <= 0 {
+			t.Errorf("%s: non-positive slowdown %.3f%% at %d nodes", s.Name, first, s.Points[0].Nodes)
+		}
+	}
+}
+
+// TestStragglerCounterGolden pins the straggler accounting exactly: MiniFE
+// allreduces every timestep, so the whole job absorbs the straggler's Extra
+// detour at every one of its 60 steps — fault.straggler_ns must equal
+// Extra x Timesteps to the nanosecond, and the run must slow down by
+// exactly that amount relative to a clean run.
+func TestStragglerCounterGolden(t *testing.T) {
+	const extra = 2 * sim.Millisecond
+	app := apps.MiniFE()
+	plan := &fault.Plan{Stragglers: []fault.Straggler{{Node: 0, Extra: extra}}}
+
+	clean, err := cluster.Run(cluster.Job{App: app, Kernel: kernel.TypeMcKernel, Nodes: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrs := trace.NewCounters()
+	slow, err := cluster.Run(cluster.Job{App: app, Kernel: kernel.TypeMcKernel, Nodes: 16, Seed: 1,
+		Faults: plan, Sink: trace.NewSink(ctrs, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := int64(extra) * int64(app.Timesteps)
+	if got := ctrs.Get("fault.straggler_ns"); got != want {
+		t.Errorf("fault.straggler_ns = %d, want %d (Extra x Timesteps)", got, want)
+	}
+	if d := slow.Elapsed - clean.Elapsed; int64(d) != want {
+		t.Errorf("straggled run is %v slower than clean, want exactly %v", d, sim.Duration(want))
+	}
+	// The absorbed detour is attributed to the noise mechanism — the
+	// breakdown's sync-absorption bucket — not invented elsewhere.
+	if d := slow.Breakdown.Noise - clean.Breakdown.Noise; int64(d) != want {
+		t.Errorf("noise breakdown grew by %v, want %v", d, sim.Duration(want))
+	}
+	if slow.Retries != 0 || slow.Degraded {
+		t.Errorf("straggler-only run reports retries=%d degraded=%v", slow.Retries, slow.Degraded)
+	}
+}
+
+// TestRetryCounterGolden pins the retry path: a plan that deterministically
+// kills the first two attempts (NodeFail.FailFirst) must produce exactly
+// two node failures, two retries, a recovery equal to the two partial
+// attempts plus the two backoffs, and Elapsed = Breakdown.Total() +
+// Recovery.
+func TestRetryCounterGolden(t *testing.T) {
+	plan := &fault.Plan{
+		NodeFail: &fault.NodeFailure{FailFirst: 2},
+		Retry:    fault.RetryPolicy{MaxRetries: 3, Base: 100 * sim.Millisecond, Max: sim.Second},
+	}
+	ctrs := trace.NewCounters()
+	res, err := cluster.Run(cluster.Job{App: apps.MiniFE(), Kernel: kernel.TypeMOS, Nodes: 16, Seed: 1,
+		Faults: plan, Sink: trace.NewSink(ctrs, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, g := range []struct {
+		name string
+		want int64
+	}{
+		{"fault.node_failures", 2},
+		{"fault.retries", 2},
+		{"fault.degraded_nodes", 0},
+	} {
+		if got := ctrs.Get(g.name); got != g.want {
+			t.Errorf("%s = %d, want %d", g.name, got, g.want)
+		}
+	}
+	if res.Retries != 2 {
+		t.Errorf("Result.Retries = %d, want 2", res.Retries)
+	}
+	if res.Degraded || res.LostNodes != 0 {
+		t.Errorf("retry-only run reports degraded=%v lost=%d", res.Degraded, res.LostNodes)
+	}
+	// Recovery includes both backoffs (100 ms + 200 ms) plus the two
+	// partial attempts' time-to-failure, which is strictly positive.
+	backoffs := plan.Retry.Backoff(0) + plan.Retry.Backoff(1)
+	if res.Recovery <= backoffs {
+		t.Errorf("Recovery = %v, want > %v (backoffs plus partial attempts)", res.Recovery, backoffs)
+	}
+	if got := ctrs.Get("fault.recovery_ns"); got != int64(res.Recovery) {
+		t.Errorf("fault.recovery_ns = %d, diverges from Result.Recovery %d", got, int64(res.Recovery))
+	}
+	if res.Elapsed != res.Breakdown.Total()+res.Recovery {
+		t.Errorf("Elapsed %v != Breakdown.Total() %v + Recovery %v",
+			res.Elapsed, res.Breakdown.Total(), res.Recovery)
+	}
+}
+
+// TestDegradedCompletionGolden pins graceful degradation: retries exhausted
+// with AllowDegraded set must finish on one node fewer, flag the result,
+// and count the dropped node.
+func TestDegradedCompletionGolden(t *testing.T) {
+	plan := &fault.Plan{
+		NodeFail:      &fault.NodeFailure{FailFirst: 3},
+		Retry:         fault.RetryPolicy{MaxRetries: 1, Base: 100 * sim.Millisecond},
+		AllowDegraded: true,
+	}
+	ctrs := trace.NewCounters()
+	res, err := cluster.Run(cluster.Job{App: apps.MiniFE(), Kernel: kernel.TypeMcKernel, Nodes: 16, Seed: 1,
+		Faults: plan, Sink: trace.NewSink(ctrs, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.LostNodes != 1 {
+		t.Fatalf("degraded=%v lost=%d, want degraded completion with 1 lost node", res.Degraded, res.LostNodes)
+	}
+	if res.Nodes != 15 {
+		t.Errorf("Result.Nodes = %d, want 15 (one dropped)", res.Nodes)
+	}
+	if res.Retries != 1 {
+		t.Errorf("Result.Retries = %d, want 1 (bounded by MaxRetries)", res.Retries)
+	}
+	for _, g := range []struct {
+		name string
+		want int64
+	}{
+		{"fault.node_failures", 2}, // attempt 0 and the single retry
+		{"fault.retries", 1},
+		{"fault.degraded_nodes", 1},
+	} {
+		if got := ctrs.Get(g.name); got != g.want {
+			t.Errorf("%s = %d, want %d", g.name, got, g.want)
+		}
+	}
+
+	// Without AllowDegraded the same plan must fail with retries exhausted.
+	hard := &fault.Plan{
+		NodeFail: &fault.NodeFailure{FailFirst: 3},
+		Retry:    fault.RetryPolicy{MaxRetries: 1, Base: 100 * sim.Millisecond},
+	}
+	if _, err := cluster.Run(cluster.Job{App: apps.MiniFE(), Kernel: kernel.TypeMcKernel, Nodes: 16, Seed: 1,
+		Faults: hard}); err == nil {
+		t.Error("retries exhausted without AllowDegraded: want error, got success")
+	}
+}

@@ -1,0 +1,288 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"mklite/internal/sim"
+)
+
+func TestEmptyPlan(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan must be empty")
+	}
+	if !(&Plan{}).Empty() {
+		t.Fatal("zero plan must be empty")
+	}
+	// Inert clauses (zero probabilities/factors) stay empty.
+	inert := &Plan{
+		Stragglers: []Straggler{{Node: 0, Factor: 1}},
+		Offload:    &OffloadFault{StallProb: 0},
+		Link:       &LinkFault{LossProb: 0},
+		NodeFail:   &NodeFailure{},
+		Storm:      &DaemonStorm{},
+	}
+	if !inert.Empty() {
+		t.Fatal("inert plan must be empty")
+	}
+	if (&Plan{Stragglers: []Straggler{{Factor: 2}}}).Empty() {
+		t.Fatal("straggler plan must not be empty")
+	}
+	if (&Plan{NodeFail: &NodeFailure{FailFirst: 1}}).Empty() {
+		t.Fatal("fail-first plan must not be empty")
+	}
+}
+
+func TestNewInjectorNilForEmpty(t *testing.T) {
+	if in := NewInjector(nil, 1); in != nil {
+		t.Fatal("nil plan must yield nil injector")
+	}
+	if in := NewInjector(&Plan{}, 1); in != nil {
+		t.Fatal("empty plan must yield nil injector")
+	}
+	if in := NewInjector(&Plan{Stragglers: []Straggler{{Factor: 2}}}, 1); in == nil {
+		t.Fatal("active plan must yield an injector")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Active() {
+		t.Fatal("nil injector active")
+	}
+	if d := in.StragglerExcess(0, 8, sim.Millisecond); d != 0 {
+		t.Fatalf("nil injector straggler excess %v", d)
+	}
+	if n, d := in.OffloadStalls(100); n != 0 || d != 0 {
+		t.Fatalf("nil injector offload stalls %d %v", n, d)
+	}
+	if d, ok := in.OffloadStall(); ok || d != 0 {
+		t.Fatal("nil injector per-call stall")
+	}
+	if n, d := in.LinkRetransmits(100, sim.Microsecond); n != 0 || d != 0 {
+		t.Fatalf("nil injector retransmits %d %v", n, d)
+	}
+	if _, _, failed := in.NodeFailure(0, 8, 100); failed {
+		t.Fatal("nil injector node failure")
+	}
+	if in.MaxRetries() != 0 || in.AllowDegraded() || in.Storm() != nil {
+		t.Fatal("nil injector policy leak")
+	}
+	if s := in.StormOffloadScale(); s != 1 {
+		t.Fatalf("nil injector storm scale %g", s)
+	}
+	in.DisableNodeFailures() // must not panic
+}
+
+func TestStragglerExcess(t *testing.T) {
+	p := &Plan{Stragglers: []Straggler{
+		{Node: 2, Factor: 3, StartStep: 10, Steps: 5},
+		{Node: 2, Extra: 100 * sim.Microsecond, StartStep: 10, Steps: 5},
+		{Node: 5, Extra: 250 * sim.Microsecond},
+	}}
+	in := NewInjector(p, 42)
+	local := sim.Millisecond
+
+	// Before the window only node 5's open-ended straggler is active.
+	if got := in.StragglerExcess(0, 8, local); got != 250*sim.Microsecond {
+		t.Fatalf("step 0 excess %v", got)
+	}
+	// Inside the window node 2's two afflictions add: 2*local + 100us =
+	// 2.1ms, beating node 5's 250us.
+	want := 2*local + 100*sim.Microsecond
+	if got := in.StragglerExcess(12, 8, local); got != want {
+		t.Fatalf("step 12 excess %v, want %v", got, want)
+	}
+	// After the window node 5 wins again.
+	if got := in.StragglerExcess(15, 8, local); got != 250*sim.Microsecond {
+		t.Fatalf("step 15 excess %v", got)
+	}
+	// A 4-node job doesn't include node 5; only node 2's window counts.
+	if got := in.StragglerExcess(0, 4, local); got != 0 {
+		t.Fatalf("4-node step 0 excess %v", got)
+	}
+}
+
+func TestOffloadStallsDeterministic(t *testing.T) {
+	p := &Plan{Offload: &OffloadFault{StallProb: 0.05, Stall: 2 * sim.Millisecond}}
+	a, b := NewInjector(p, 7), NewInjector(p, 7)
+	for i := 0; i < 50; i++ {
+		an, ad := a.OffloadStalls(200)
+		bn, bd := b.OffloadStalls(200)
+		if an != bn || ad != bd {
+			t.Fatalf("draw %d diverged: %d/%v vs %d/%v", i, an, ad, bn, bd)
+		}
+		if an < 0 || an > 200 {
+			t.Fatalf("stall count %d out of range", an)
+		}
+		if ad != sim.Duration(an)*2*sim.Millisecond {
+			t.Fatalf("stall cost %v for %d stalls", ad, an)
+		}
+	}
+	// Mean sanity: ~10 stalls per 200 calls at 5%.
+	in := NewInjector(p, 99)
+	total := 0
+	for i := 0; i < 200; i++ {
+		n, _ := in.OffloadStalls(200)
+		total += n
+	}
+	if mean := float64(total) / 200; mean < 7 || mean > 13 {
+		t.Fatalf("stall mean %.2f, want ~10", mean)
+	}
+}
+
+func TestLinkRetransmits(t *testing.T) {
+	p := &Plan{Link: &LinkFault{LossProb: 0.01, Timeout: 3 * sim.Millisecond}}
+	in := NewInjector(p, 11)
+	resend := 50 * sim.Microsecond
+	total := 0
+	for i := 0; i < 500; i++ {
+		n, d := in.LinkRetransmits(100, resend)
+		if d != sim.Duration(n)*(3*sim.Millisecond+resend) {
+			t.Fatalf("delay %v for %d retransmits", d, n)
+		}
+		total += n
+	}
+	if mean := float64(total) / 500; mean < 0.6 || mean > 1.4 {
+		t.Fatalf("retransmit mean %.2f, want ~1", mean)
+	}
+	if in.LinkBytes() != DefaultRetransmitBytes {
+		t.Fatalf("default retransmit bytes %d", in.LinkBytes())
+	}
+}
+
+func TestNodeFailureFailFirst(t *testing.T) {
+	p := &Plan{NodeFail: &NodeFailure{FailFirst: 2}, Retry: RetryPolicy{MaxRetries: 3}}
+	in := NewInjector(p, 5)
+	node, step, failed := in.NodeFailure(0, 8, 100)
+	if !failed || node != 0 || step != 50 {
+		t.Fatalf("attempt 0: %d %d %v", node, step, failed)
+	}
+	node, _, failed = in.NodeFailure(1, 8, 100)
+	if !failed || node != 1 {
+		t.Fatalf("attempt 1: node %d failed=%v", node, failed)
+	}
+	if _, _, failed = in.NodeFailure(2, 8, 100); failed {
+		t.Fatal("attempt 2 must succeed (prob 0)")
+	}
+	in.DisableNodeFailures()
+	if _, _, failed = in.NodeFailure(0, 8, 100); failed {
+		t.Fatal("disabled injector still failing")
+	}
+	if in.MaxRetries() != 3 {
+		t.Fatalf("max retries %d", in.MaxRetries())
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	r := RetryPolicy{Base: sim.Second, Max: 5 * sim.Second}
+	for k, want := range []sim.Duration{sim.Second, 2 * sim.Second, 4 * sim.Second, 5 * sim.Second, 5 * sim.Second} {
+		if got := r.Backoff(k); got != want {
+			t.Fatalf("backoff(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if got := (RetryPolicy{}).Backoff(0); got != DefaultBackoffBase {
+		t.Fatalf("default backoff %v", got)
+	}
+}
+
+func TestStormScales(t *testing.T) {
+	p := &Plan{Storm: &DaemonStorm{Period: 300 * sim.Millisecond, Burst: 100 * sim.Millisecond, OffloadFactor: 5}}
+	in := NewInjector(p, 1)
+	if duty := in.StormDuty(); duty < 0.249 || duty > 0.251 {
+		t.Fatalf("duty %g, want 0.25", duty)
+	}
+	if s := in.StormOffloadScale(); s < 1.99 || s > 2.01 {
+		t.Fatalf("offload scale %g, want 2", s)
+	}
+	// A harmless storm (factor <= 1) leaves offloads untouched.
+	p2 := &Plan{Storm: &DaemonStorm{Period: sim.Second, Burst: 100 * sim.Millisecond, OffloadFactor: 1}}
+	if s := NewInjector(p2, 1).StormOffloadScale(); s != 1 {
+		t.Fatalf("harmless storm scale %g", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Plan{
+		{Stragglers: []Straggler{{Node: -1, Factor: 2}}},
+		{Stragglers: []Straggler{{Factor: 0.5}}},
+		{Offload: &OffloadFault{StallProb: 1.5}},
+		{Offload: &OffloadFault{StallProb: 0.1, Stall: -sim.Second}},
+		{Link: &LinkFault{LossProb: 1}},
+		{NodeFail: &NodeFailure{Prob: -0.1}},
+		{Storm: &DaemonStorm{Period: -sim.Second}},
+		{Retry: RetryPolicy{MaxRetries: -1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("plan %d validated", i)
+		}
+	}
+	ok := &Plan{
+		Stragglers: []Straggler{{Node: 0, Factor: 2, Extra: sim.Microsecond}},
+		Offload:    &OffloadFault{StallProb: 0.01, Stall: sim.Millisecond},
+		Link:       &LinkFault{LossProb: 0.001, Timeout: sim.Millisecond},
+		NodeFail:   &NodeFailure{Prob: 0.05},
+		Storm:      &DaemonStorm{Period: sim.Second, Burst: sim.Millisecond, OffloadFactor: 2},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	if p, err := ParsePlan(""); err != nil || p != nil {
+		t.Fatalf("empty spec: %v %v", p, err)
+	}
+	p, err := ParsePlan("straggler:node=3,factor=2.5,extra=200us,start=5,steps=40; " +
+		"offload:prob=0.01,stall=5ms,retries=4; link:loss=0.001,timeout=2ms,bytes=8192; " +
+		"nodefail:prob=0.02,failfirst=1; storm:period=250ms,burst=30ms,cv=0.5,offload=4; " +
+		"retry:max=2,base=1s,cap=10s; degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stragglers[0]
+	if s.Node != 3 || s.Factor != 2.5 || s.Extra != 200*sim.Microsecond || s.StartStep != 5 || s.Steps != 40 {
+		t.Fatalf("straggler %+v", s)
+	}
+	if p.Offload.StallProb != 0.01 || p.Offload.Stall != 5*sim.Millisecond || p.Offload.MaxRetries != 4 {
+		t.Fatalf("offload %+v", p.Offload)
+	}
+	if p.Link.LossProb != 0.001 || p.Link.Timeout != 2*sim.Millisecond || p.Link.MessageBytes != 8192 {
+		t.Fatalf("link %+v", p.Link)
+	}
+	if p.NodeFail.Prob != 0.02 || p.NodeFail.FailFirst != 1 {
+		t.Fatalf("nodefail %+v", p.NodeFail)
+	}
+	if p.Storm.Period != 250*sim.Millisecond || p.Storm.Burst != 30*sim.Millisecond ||
+		p.Storm.CV != 0.5 || p.Storm.OffloadFactor != 4 {
+		t.Fatalf("storm %+v", p.Storm)
+	}
+	if p.Retry.MaxRetries != 2 || p.Retry.Base != sim.Second || p.Retry.Max != 10*sim.Second {
+		t.Fatalf("retry %+v", p.Retry)
+	}
+	if !p.AllowDegraded {
+		t.Fatal("degraded not set")
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"bogus:x=1", "unknown fault kind"},
+		{"straggler:node=0", "factor or extra"},
+		{"straggler:factor=2,typo=1", "unknown argument"},
+		{"straggler:factor=abc", "bad number"},
+		{"straggler:extra=xyz", "bad duration"},
+		{"straggler:node=1.5,factor=2", "bad integer"},
+		{"offload:prob=0.1;offload:prob=0.2", "duplicate offload"},
+		{"offload:prob=2", "outside [0, 1]"},
+		{"straggler factor=2", "unknown fault kind"},
+	}
+	for _, c := range cases {
+		_, err := ParsePlan(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("spec %q: error %v, want %q", c.spec, err, c.want)
+		}
+	}
+}

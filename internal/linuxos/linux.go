@@ -34,6 +34,12 @@ type Config struct {
 	// KernelReservation is physical memory claimed by the kernel image
 	// and unmovable structures at boot, spread over the DDR domains.
 	KernelReservation int64
+	// ExtraNoise appends interference sources to the boot profile. The
+	// fault layer's daemon-storm mode injects its rogue daemon here: on a
+	// full-weight kernel nothing shields the application cores, so the
+	// storm lands directly on them (the LWKs only feel it through
+	// inflated offload round trips).
+	ExtraNoise []noise.Source
 }
 
 // DefaultConfig is the paper's production Linux setup.
@@ -78,6 +84,9 @@ func Boot(node *hw.NodeSpec, cfg Config) (*Kernel, error) {
 	prof := noise.LinuxTuned()
 	if !cfg.Tuned {
 		prof = noise.LinuxUntuned()
+	}
+	for _, s := range cfg.ExtraNoise {
+		prof = prof.WithSource(s)
 	}
 	k := &Kernel{
 		Base: kernel.Base{

@@ -212,6 +212,19 @@ func (c *Comm) PointToPoint(bytes int64) CollResult {
 	return CollResult{Time: c.interStep(bytes), Messages: 1}
 }
 
+// Retransmit is the wire time of one retransmitted fabric message of the
+// given payload: the resent bytes cross the job's diameter once more (a
+// shared-memory copy on a single node). The fault layer charges this — plus
+// the retransmit timeout — for every message the degraded link drops; a
+// loss inside a collective stalls every rank waiting on the reduction, so
+// the harness charges the delay to the whole step.
+func (c *Comm) Retransmit(bytes int64) sim.Duration {
+	if c.Nodes <= 1 {
+		return c.intraStep(bytes)
+	}
+	return c.interStep(bytes)
+}
+
 // ReduceScatter models the reduce_scatter used by ring allreduces: every
 // rank ends with 1/ranks of the reduced vector; traffic per rank is
 // bytes*(ranks-1)/ranks both ways.

@@ -14,6 +14,7 @@ package nodesim
 import (
 	"fmt"
 
+	"mklite/internal/fault"
 	"mklite/internal/ihk"
 	"mklite/internal/kernel"
 	"mklite/internal/sim"
@@ -44,6 +45,12 @@ type Config struct {
 	// compute spans, step marks, the offload queue-depth timeline). Nil
 	// turns tracing off; results are identical either way.
 	Sink *trace.Sink
+	// Faults, when non-nil and non-empty, makes the offload channel
+	// flaky: issues stall with the plan's probability and are re-issued
+	// after the timeout, bounded by the plan's retry count (see
+	// internal/fault). The injector draws from its own stream, so a nil
+	// or empty plan leaves the run byte-identical.
+	Faults *fault.Plan
 }
 
 // Result is a node-level run's outcome.
@@ -60,6 +67,9 @@ type Result struct {
 	MaxOffloadLatency sim.Duration
 	// NoiseTotal is the summed noise detour across ranks.
 	NoiseTotal sim.Duration
+	// OffloadStalls counts offload issues that stalled and were
+	// re-issued after the fault plan's timeout.
+	OffloadStalls int
 }
 
 // barrier is a reusable all-ranks rendezvous.
@@ -99,12 +109,19 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("nodesim: non-positive step count")
 	}
 
+	if err := cfg.Faults.Validate(); err != nil {
+		return Result{}, err
+	}
+
 	eng := sim.NewEngine(cfg.Seed)
 	eng.SetSink(cfg.Sink)
 	rootRNG := eng.RNG().Split()
 	costs := cfg.Kern.Costs()
 	prof := cfg.Kern.Noise()
 	sink := cfg.Sink
+	// The injector draws from its own stream, never the engine's, so an
+	// empty plan (nil injector) leaves the event timeline untouched.
+	inj := fault.NewInjector(cfg.Faults, sim.StreamSeed(cfg.Seed, fault.StreamNode))
 
 	// Offloads are serviced by the partition's OS cores. Native-syscall
 	// kernels (Linux) execute locally instead.
@@ -120,6 +137,13 @@ func Run(cfg Config) (Result, error) {
 		if softOverhead = costs.OffloadRTT - 2*ikcChan.LocalLatency; softOverhead < 0 {
 			softOverhead = 0
 		}
+	}
+
+	service := cfg.SyscallService
+	if s := inj.StormOffloadScale(); offloaded && s > 1 {
+		// A daemon storm keeps the Linux service cores busy; every
+		// offloaded call's service time stretches accordingly.
+		service = service.Scale(s)
 	}
 
 	res := Result{}
@@ -150,8 +174,21 @@ func Run(cfg Config) (Result, error) {
 					start := p.Now()
 					if offloaded {
 						p.Sleep(costs.Trap + softOverhead)
-						if err := srv.Offload(p, core, cfg.SyscallService); err != nil {
-							return
+						for try := 0; ; try++ {
+							if stall, stalled := inj.OffloadStall(); stalled && try < inj.OffloadRetries() {
+								// The issue vanished into the flaky
+								// channel: wait out the timeout,
+								// then re-issue.
+								p.Sleep(stall)
+								res.OffloadStalls++
+								sink.CountKey(trace.KeyFaultOffloadStalls, 1)
+								sink.CountKey(trace.KeyFaultOffloadStallNs, int64(stall))
+								continue
+							}
+							if err := srv.Offload(p, core, service); err != nil {
+								return
+							}
+							break
 						}
 					} else {
 						p.Sleep(costs.Trap + cfg.SyscallService)

@@ -116,29 +116,11 @@ func (s *Source) ExpectedRate() float64 {
 	return float64(s.Mean) / float64(s.Period)
 }
 
-// poisson draws a Poisson variate; Knuth's method for small means, normal
-// approximation above.
+// poisson draws a Poisson variate. The algorithm lives on sim.RNG so the
+// fault injector draws occurrence counts from the identical distribution
+// code; the draw sequence is unchanged by the delegation.
 func poisson(rng *sim.RNG, lambda float64) int {
-	if lambda <= 0 {
-		return 0
-	}
-	if lambda > 30 {
-		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
-		if v < 0 {
-			return 0
-		}
-		return int(v + 0.5)
-	}
-	l := math.Exp(-lambda)
-	k := 0
-	p := 1.0
-	for {
-		p *= rng.Float64()
-		if p <= l {
-			return k
-		}
-		k++
-	}
+	return rng.Poisson(lambda)
 }
 
 // Profile is a named set of noise sources — the interference signature of
@@ -179,6 +161,30 @@ func (p *Profile) ExpectedRate(core int) float64 {
 		}
 	}
 	return rate
+}
+
+// WithSource returns a copy of the profile with an extra source appended —
+// used by the fault layer to add a daemon storm without mutating the
+// kernel's shared canonical profile.
+func (p *Profile) WithSource(s Source) *Profile {
+	out := &Profile{Name: p.Name, Sources: make([]Source, 0, len(p.Sources)+1)}
+	out.Sources = append(out.Sources, p.Sources...)
+	out.Sources = append(out.Sources, s)
+	return out
+}
+
+// Storm builds the daemon-storm interference source the fault layer injects
+// on Linux application cores: a rogue daemon bursting for `burst` every
+// `period` on average, with log-normal burst lengths. On the LWKs core
+// partitioning keeps this source off application cores entirely; the storm
+// reaches them only through inflated offload round trips.
+func Storm(period, burst sim.Duration, cv float64) Source {
+	return Source{
+		Name:   "daemon-storm",
+		Period: period,
+		Mean:   burst,
+		CV:     cv,
+	}
 }
 
 // --------------------------------------------------------------------------

@@ -137,6 +137,33 @@ func (r *RNG) Pareto(xm, alpha float64) float64 {
 	return xm / math.Pow(1-r.Float64(), 1/alpha)
 }
 
+// Poisson returns a Poisson(lambda) variate: Knuth's product method for
+// small means, the normal approximation above. Occurrence counts in a
+// window (noise events, lost messages, stalled offloads) are drawn from
+// this family.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -59,6 +59,17 @@ const (
 	KeyIHKRTTNs
 	KeyIHKServiced
 
+	KeyFaultStragglerNs
+	KeyFaultOffloadStalls
+	KeyFaultOffloadStallNs
+	KeyFaultLinkRetransmits
+	KeyFaultLinkDelayNs
+	KeyFaultStormOffloadNs
+	KeyFaultNodeFailures
+	KeyFaultRetries
+	KeyFaultRecoveryNs
+	KeyFaultDegradedNodes
+
 	numKeys // sentinel: the dense-slice length
 )
 
@@ -109,6 +120,17 @@ var keyNames = [numKeys]string{
 	KeyIHKOffloads: "ihk.offloads",
 	KeyIHKRTTNs:    "ihk.rtt_ns",
 	KeyIHKServiced: "ihk.serviced",
+
+	KeyFaultStragglerNs:     "fault.straggler_ns",
+	KeyFaultOffloadStalls:   "fault.offload.stalls",
+	KeyFaultOffloadStallNs:  "fault.offload.stall_ns",
+	KeyFaultLinkRetransmits: "fault.link.retransmits",
+	KeyFaultLinkDelayNs:     "fault.link.delay_ns",
+	KeyFaultStormOffloadNs:  "fault.storm.offload_ns",
+	KeyFaultNodeFailures:    "fault.node_failures",
+	KeyFaultRetries:         "fault.retries",
+	KeyFaultRecoveryNs:      "fault.recovery_ns",
+	KeyFaultDegradedNodes:   "fault.degraded_nodes",
 }
 
 // keyByName is the reverse index, built once at package init. It is

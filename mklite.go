@@ -23,12 +23,15 @@ package mklite
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"mklite/internal/apps"
 	"mklite/internal/cluster"
 	"mklite/internal/fabric"
+	"mklite/internal/fault"
 	"mklite/internal/kernel"
 	"mklite/internal/mckernel"
 	"mklite/internal/metrics"
@@ -70,7 +73,37 @@ func (k Kernel) internalType() (kernel.Type, error) {
 	return 0, fmt.Errorf("mklite: unknown kernel %q", string(k))
 }
 
-// Options carries per-run tunables.
+// Observe groups a run's observability attachments: the per-step trace,
+// mechanism counters, the virtual-time event timeline, the metrics registry
+// and the flame-graph export. All of them are purely observational — every
+// simulated output is byte-identical with or without them attached.
+type Observe struct {
+	// Trace records a per-timestep breakdown into Result.StepTrace.
+	Trace bool
+	// Counters attaches a mechanism-counter sink to the run; the
+	// aggregated counts land in Result.Counters.
+	Counters bool
+	// Events records the run's virtual-time event timeline (bounded
+	// ring); Result.TraceJSON holds the Chrome trace-event export.
+	Events bool
+	// EventCap bounds the event ring (0 = trace.DefaultEventCap;
+	// negative values are rejected). When the ring overflows, the oldest
+	// events are evicted and the export notes the count.
+	EventCap int
+	// Metrics attaches a metrics registry to the run: latency
+	// histograms, per-rank distributions, per-phase virtual-time
+	// accounting and gauges. Result.MetricsJSON holds the
+	// mklite-metrics/v1 report and Result.MetricsText its rendered
+	// tables.
+	Metrics bool
+	// Flame additionally exports the run's event timeline as a
+	// virtual-time-weighted folded-stack flame graph (Result.Folded,
+	// loadable by speedscope/inferno/flamegraph.pl). Implies Events.
+	Flame bool
+}
+
+// Options carries per-run tunables: the model configuration, the Observe
+// block, and an optional fault plan.
 type Options struct {
 	// ForceDDROnly pins all application memory to DDR4 (the Table I
 	// and CCS-QCD-DDR configurations).
@@ -89,31 +122,66 @@ type Options struct {
 	// (one DDR4 + one MCDRAM domain; numactl -p works, the SNC-4
 	// mesh advantage is lost).
 	Quadrant bool
-	// Trace records a per-timestep breakdown into Result.StepTrace.
+
+	// Observe groups the run's observability attachments. The flat
+	// fields below are deprecated aliases kept for source compatibility;
+	// the effective configuration is the union of both forms.
+	Observe Observe
+
+	// Faults, when non-nil and non-empty, schedules deterministic fault
+	// injection for the run — stragglers, offload stalls, link loss,
+	// transient node failures, daemon storms — with job-level retry and
+	// optional degraded completion (see docs/FAULTS.md). Faults draw
+	// from their own seed-derived stream: a nil or empty plan leaves
+	// every output byte-identical to a faultless build.
+	Faults *fault.Plan
+
+	// Trace is a deprecated alias for Observe.Trace.
 	Trace bool
-	// Counters attaches a mechanism-counter sink to the run; the
-	// aggregated counts land in Result.Counters. Counting changes no
-	// simulated outcome — every other Result field is byte-identical
-	// with or without it.
+	// Counters is a deprecated alias for Observe.Counters.
 	Counters bool
-	// Events records the run's virtual-time event timeline (bounded
-	// ring); Result.TraceJSON holds the Chrome trace-event export.
+	// Events is a deprecated alias for Observe.Events.
 	Events bool
-	// EventCap bounds the event ring (0 = trace.DefaultEventCap). When
-	// the ring overflows, the oldest events are evicted and the export
-	// notes the count.
+	// EventCap is a deprecated alias for Observe.EventCap (used only
+	// when Observe.EventCap is zero).
 	EventCap int
-	// Metrics attaches a metrics registry to the run: latency histograms,
-	// per-rank distributions, per-phase virtual-time accounting and
-	// gauges. Result.MetricsJSON holds the mklite-metrics/v1 report and
-	// Result.MetricsText its rendered tables. Like counters and events,
-	// metrics only observe — every other Result field is byte-identical
-	// with or without them.
+	// Metrics is a deprecated alias for Observe.Metrics.
 	Metrics bool
-	// Flame additionally exports the run's event timeline as a
-	// virtual-time-weighted folded-stack flame graph (Result.Folded,
-	// loadable by speedscope/inferno/flamegraph.pl). Implies Events.
+	// Flame is a deprecated alias for Observe.Flame.
 	Flame bool
+}
+
+// observe returns the effective observability configuration: the Observe
+// block with the deprecated flat aliases OR-ed in.
+func (o *Options) observe() Observe {
+	if o == nil {
+		return Observe{}
+	}
+	obs := o.Observe
+	obs.Trace = obs.Trace || o.Trace
+	obs.Counters = obs.Counters || o.Counters
+	obs.Events = obs.Events || o.Events
+	obs.Metrics = obs.Metrics || o.Metrics
+	obs.Flame = obs.Flame || o.Flame
+	if obs.EventCap == 0 {
+		obs.EventCap = o.EventCap
+	}
+	return obs
+}
+
+// validate rejects malformed options with a proper error (a negative
+// EventCap used to be silently treated as the default).
+func (o *Options) validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.Observe.EventCap < 0 {
+		return fmt.Errorf("mklite: negative Observe.EventCap %d", o.Observe.EventCap)
+	}
+	if o.EventCap < 0 {
+		return fmt.Errorf("mklite: negative EventCap %d", o.EventCap)
+	}
+	return o.Faults.Validate()
 }
 
 // StepTrace is one timestep's attribution, in seconds.
@@ -188,6 +256,17 @@ type Result struct {
 	// was set.
 	StepTrace []StepTrace
 
+	// Retries counts failed attempts re-executed after injected
+	// transient node failures; RecoverySeconds is the virtual time lost
+	// to failed attempts and retry backoff (included in ElapsedSeconds).
+	// Degraded reports completion on a reduced node set, with LostNodes
+	// nodes dropped. All zero — and absent from JSON — without an active
+	// fault plan.
+	Retries         int     `json:"Retries,omitempty"`
+	RecoverySeconds float64 `json:"RecoverySeconds,omitempty"`
+	Degraded        bool    `json:"Degraded,omitempty"`
+	LostNodes       int     `json:"LostNodes,omitempty"`
+
 	// Counters holds the run's mechanism counters when Options.Counters
 	// was set (sorted on export; see docs/TRACING.md for the key
 	// namespace).
@@ -221,7 +300,8 @@ func toJob(appName string, k Kernel, nodes int, seed uint64, opts *Options) (clu
 	}
 	job.ForceDDROnly = opts.ForceDDROnly
 	job.Quadrant = opts.Quadrant
-	job.Trace = opts.Trace
+	job.Trace = opts.observe().Trace
+	job.Faults = opts.Faults
 	if opts.UserSpaceFabric {
 		job.Fabric = fabric.UserSpaceFabric()
 	}
@@ -241,30 +321,44 @@ func toJob(appName string, k Kernel, nodes int, seed uint64, opts *Options) (clu
 }
 
 // Run executes one application at one node count on one kernel. The seed
-// makes the run reproducible; repeated measurements should vary it.
+// makes the run reproducible; repeated measurements should vary it. Run is
+// the context.Background() form of RunContext.
 func Run(appName string, k Kernel, nodes int, seed uint64, opts *Options) (Result, error) {
+	return RunContext(context.Background(), appName, k, nodes, seed, opts)
+}
+
+// RunContext is Run with cancellation: fault plans with retries can
+// re-execute a job several times, and callers may want to abandon the wait.
+// Cancellation is safe for determinism-checked pipelines — a cancelled run
+// returns ctx's error and never a partial Result, so no timing-dependent
+// output can leak downstream.
+func RunContext(ctx context.Context, appName string, k Kernel, nodes int, seed uint64, opts *Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
 	job, err := toJob(appName, k, nodes, seed, opts)
 	if err != nil {
 		return Result{}, err
 	}
+	observe := opts.observe()
 	var ctrs *trace.Counters
 	var evs *trace.Events
 	var reg *metrics.Registry
-	if opts != nil {
-		if opts.Counters {
+	if observe != (Observe{}) {
+		if observe.Counters {
 			ctrs = trace.NewCounters()
 		}
-		if opts.Events || opts.Flame {
-			evs = trace.NewEvents(opts.EventCap)
+		if observe.Events || observe.Flame {
+			evs = trace.NewEvents(observe.EventCap)
 		}
 		var obs trace.Observer
-		if opts.Metrics {
+		if observe.Metrics {
 			reg = metrics.NewRegistry()
 			obs = reg
 		}
 		job.Sink = trace.NewSinkObs(ctrs, evs, obs)
 	}
-	res, err := cluster.Run(job)
+	res, err := cluster.RunContext(ctx, job)
 	if err != nil {
 		return Result{}, err
 	}
@@ -294,13 +388,18 @@ func Run(appName string, k Kernel, nodes int, seed uint64, opts *Options) (Resul
 		MCDRAMBytes:    res.MCDRAMBytes,
 		DemandRanks:    res.DemandRanks,
 		StepTrace:      stepTrace(res.Steps),
+
+		Retries:         res.Retries,
+		RecoverySeconds: res.Recovery.Seconds(),
+		Degraded:        res.Degraded,
+		LostNodes:       res.LostNodes,
 	}
 	if ctrs != nil {
 		out.Counters = ctrs.Map()
 	}
 	if evs != nil {
 		out.TraceJSON = evs.JSON()
-		if opts.Flame {
+		if observe.Flame {
 			out.Folded = metrics.Folded(evs.Snapshot())
 		}
 	}
@@ -339,15 +438,26 @@ func stepTrace(steps []cluster.StepRecord) []StepTrace {
 // Figure.Counters.
 func FormatCounters(m map[string]int64) string { return trace.FormatCounters(m) }
 
-// Compare runs the application on all three kernels with the same seed.
+// Compare runs the application on all three kernels with the same seed. A
+// kernel that fails no longer aborts the sweep: the successful Results are
+// returned alongside a joined error naming the failed kernels, so callers
+// can render a partial comparison (check the error, then use whatever
+// Results came back).
 func Compare(appName string, nodes int, seed uint64, opts *Options) ([]Result, error) {
 	var out []Result
+	var errs []error
 	for _, k := range Kernels() {
 		r, err := Run(appName, k, nodes, seed, opts)
 		if err != nil {
-			return nil, err
+			errs = append(errs, fmt.Errorf("%s: %w", k, err))
+			continue
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
+
+// ParseFaults parses the -faults command-line syntax into a fault plan —
+// see fault.ParsePlan for the clause grammar. An empty spec returns a nil
+// plan (no faults).
+func ParseFaults(spec string) (*fault.Plan, error) { return fault.ParsePlan(spec) }
