@@ -6,16 +6,26 @@
 //
 // Usage:
 //
-//	go run ./cmd/mklint ./...        # analyze the whole module
-//	go run ./cmd/mklint -vet ./...   # also run go vet on the same patterns
-//	go run ./cmd/mklint -list        # print the analyzer suite and exit
+//	go run ./cmd/mklint ./...             # analyze the whole module
+//	go run ./cmd/mklint -fix ./...        # apply machine-applicable fixes
+//	go run ./cmd/mklint -sarif out.sarif ./...  # also write SARIF 2.1.0
+//	go run ./cmd/mklint -ignores ./...    # print the suppression inventory
+//	go run ./cmd/mklint -vet ./...        # also run go vet on the same patterns
+//	go run ./cmd/mklint -list             # print the analyzer suite and exit
 //
 // Diagnostics are one per line, in the familiar file:line:col form:
 //
 //	internal/ltp/ltp.go:106:2: maprange: iteration over map specialCounts ...
 //
 // A finding can be suppressed with //mklint:ignore <analyzer> <reason> on
-// the offending line or the line above; see docs/LINTING.md.
+// the offending line or the line above; the ignoreaudit analyzer reports
+// directives that have gone stale. See docs/LINTING.md.
+//
+// Exit status: 0 when every loaded package is clean, 1 when diagnostics
+// were reported (or go vet failed under -vet, or -ignores found stale
+// directives), 2 when any package failed to load — diagnostics for the
+// packages that did load are still printed first — or on an internal
+// error.
 package main
 
 import (
@@ -28,12 +38,19 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		list = flag.Bool("list", false, "list the analyzers and exit")
-		vet  = flag.Bool("vet", false, "also run `go vet` on the same patterns")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		vet     = flag.Bool("vet", false, "also run `go vet` on the same patterns")
+		fix     = flag.Bool("fix", false, "apply machine-applicable suggested fixes to the source")
+		sarif   = flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to `file` (\"-\" for stdout)")
+		ignores = flag.Bool("ignores", false, "print the //mklint:ignore suppression inventory; exit 1 if any is stale")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mklint [-list] [-vet] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: mklint [-list] [-vet] [-fix] [-sarif file] [-ignores] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "mklint enforces mklite's determinism contract; see docs/LINTING.md.\n")
 		flag.PrintDefaults()
 	}
@@ -43,7 +60,7 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	patterns := flag.Args()
@@ -53,18 +70,65 @@ func main() {
 
 	wd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	pkgs, err := analysis.Load(wd, patterns...)
+	pkgs, failures, err := analysis.Load(wd, patterns...)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	diags, err := analysis.Run(pkgs, analysis.All())
+	result, err := analysis.Analyze(pkgs, analysis.All())
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := result.Diagnostics
+
+	if *ignores {
+		for _, line := range result.RenderIgnores() {
+			fmt.Println(line)
+		}
+		if n := result.StaleIgnores(); n > 0 {
+			fmt.Fprintf(os.Stderr, "mklint: %d stale //mklint:ignore directive(s)\n", n)
+			return 1
+		}
+		return 0
+	}
+
+	if *fix {
+		changed, skipped, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			return fatal(err)
+		}
+		for _, f := range changed {
+			fmt.Printf("fixed %s\n", f)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "mklint: %d overlapping fix(es) skipped; re-run -fix after review\n", skipped)
+		}
+		// Report what remains: diagnostics that carried no fix.
+		for _, d := range diags {
+			if len(d.SuggestedFixes) == 0 {
+				fmt.Println(d)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	if *sarif != "" {
+		out := os.Stdout
+		if *sarif != "-" {
+			f, err := os.Create(*sarif)
+			if err != nil {
+				return fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := analysis.WriteSARIF(out, wd, analysis.All(), diags); err != nil {
+			return fatal(err)
+		}
 	}
 
 	failed := len(diags) > 0
@@ -76,12 +140,20 @@ func main() {
 			failed = true
 		}
 	}
-	if failed {
-		os.Exit(1)
+	// Load failures dominate: partial analysis is not a clean bill.
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "mklint:", f.Error())
+		}
+		return 2
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "mklint:", err)
-	os.Exit(2)
+	return 2
 }

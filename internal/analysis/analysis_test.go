@@ -51,6 +51,35 @@ func TestParShare(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.ParShare, "parshare")
 }
 
+func TestSeedFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.SeedFlow, "seedflow")
+}
+
+// TestSeedFlowFix: the base+i*prime fixture both reports correctly and,
+// after applying the suggested fix, is byte-identical to the hand-fixed
+// golden file — the same path `mklint -fix` takes.
+func TestSeedFlowFix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.SeedFlow, "seedflowfix")
+	analysistest.RunFix(t, analysistest.TestData(), analysis.SeedFlow, "seedflowfix")
+}
+
+func TestFloatOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.FloatOrder, "floatorder")
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ErrDrop, "errdrop")
+}
+
+// TestIgnoreAudit runs maprange together with the post-suite audit, the way
+// the real driver does: the live directive suppresses silently, the stale
+// and unknown-analyzer directives are reported.
+func TestIgnoreAudit(t *testing.T) {
+	analysistest.RunSuite(t, analysistest.TestData(),
+		[]*analysis.Analyzer{analysis.MapRange, analysis.IgnoreAudit},
+		"ignoreaudit", "ignoreaudit")
+}
+
 // TestIgnoreDirectiveSuppresses: a well-formed //mklint:ignore with a
 // reason silences the named analyzer in both standalone and trailing
 // placement — the fixture expects zero diagnostics.
@@ -72,9 +101,12 @@ func TestSelfClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	pkgs, err := analysis.Load("../..", "./...")
+	pkgs, failures, err := analysis.Load("../..", "./...")
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
+	}
+	for _, f := range failures {
+		t.Errorf("load failure: %v", f)
 	}
 	diags, err := analysis.Run(pkgs, analysis.All())
 	if err != nil {

@@ -20,10 +20,14 @@
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
+	"maps"
+	"os"
 	"path/filepath"
 	"regexp"
+	"slices"
 	"strconv"
 	"strings"
 	"testing"
@@ -54,6 +58,69 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
 // analyzers (nogoroutine) apply to.
 func RunWithPath(t *testing.T, testdata string, a *analysis.Analyzer, dir, importPath string) {
 	t.Helper()
+	if a.AppliesTo != nil && !a.AppliesTo(importPath) {
+		t.Fatalf("analyzer %s does not apply to import path %q; use RunWithPath with a matching path", a.Name, importPath)
+	}
+	RunSuite(t, testdata, []*analysis.Analyzer{a}, dir, importPath)
+}
+
+// RunSuite runs several analyzers together over one fixture — the way the
+// real driver does — and checks the combined diagnostics against the
+// fixture's want comments. Include analysis.IgnoreAudit to exercise the
+// post-suite stale-directive audit.
+func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg := loadFixture(t, testdata, dir, importPath)
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running suite on %s: %v", dir, err)
+	}
+	var names []string
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	wants := collectWants(t, pkg)
+	checkDiagnostics(t, strings.Join(names, "+"), diags, wants)
+}
+
+// RunFix runs the analyzer over the fixture, applies every machine-applicable
+// suggested fix in memory (gofmt-clean, exactly as `mklint -fix` would write
+// it), and requires each changed file to be byte-identical to its
+// <name>.golden sibling.
+func RunFix(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg := loadFixture(t, testdata, dir, dir)
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	fixed, skipped, err := analysis.FixFiles(diags)
+	if err != nil {
+		t.Fatalf("applying fixes for %s: %v", dir, err)
+	}
+	if skipped > 0 {
+		t.Errorf("%d overlapping fix(es) skipped in %s", skipped, dir)
+	}
+	if len(fixed) == 0 {
+		t.Fatalf("analyzer %s produced no fixes on fixture %s", a.Name, dir)
+	}
+	for _, file := range slices.Sorted(maps.Keys(fixed)) {
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("reading golden file: %v", err)
+		}
+		if got := fixed[file]; !bytes.Equal(got, want) {
+			t.Errorf("fixed %s does not match %s:\n-- got --\n%s\n-- want --\n%s",
+				filepath.Base(file), filepath.Base(golden), got, want)
+		}
+	}
+}
+
+// loadFixture loads testdata/src/<dir> as importPath and fails the test on
+// any load or type error.
+func loadFixture(t *testing.T, testdata, dir, importPath string) *analysis.Package {
+	t.Helper()
 	pkgDir := filepath.Join(testdata, "src", dir)
 	pkg, err := analysis.LoadDir(pkgDir, importPath)
 	if err != nil {
@@ -62,16 +129,7 @@ func RunWithPath(t *testing.T, testdata string, a *analysis.Analyzer, dir, impor
 	if len(pkg.TypeErrors) > 0 {
 		t.Fatalf("fixture %s has type errors: %v", pkgDir, pkg.TypeErrors)
 	}
-	if a.AppliesTo != nil && !a.AppliesTo(importPath) {
-		t.Fatalf("analyzer %s does not apply to import path %q; use RunWithPath with a matching path", a.Name, importPath)
-	}
-
-	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, pkgDir, err)
-	}
-	wants := collectWants(t, pkg)
-	checkDiagnostics(t, a.Name, diags, wants)
+	return pkg
 }
 
 // A want is one expectation: a regexp that must match a diagnostic on a

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"maps"
+	"reflect"
+	"slices"
+)
+
+// A Fact is a datum an analyzer computes about a package-level object
+// (function, method, variable) of the package under analysis and publishes
+// for passes over importing packages to consult. Facts are what make the
+// suite interprocedural across package boundaries: seedflow, for example,
+// exports a fact marking which parameters of an exported function flow into
+// sim.NewRNG, so a call in another package can be checked against the same
+// contract as a direct sim.NewRNG call.
+//
+// Fact values must be pointers to gob-encodable structs and must be
+// registered once with RegisterFact. The shape mirrors
+// golang.org/x/tools/go/analysis facts: serialization is mandatory, not an
+// optimisation — a fact that does not survive the gob round trip would also
+// not survive a future on-disk cache keyed to the `go list -deps -export`
+// artifacts the loader already consumes.
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact()
+}
+
+// RegisterFact registers the concrete type of fact with gob so per-package
+// fact sets can be encoded and decoded. Each analyzer registers its fact
+// types from an init function.
+func RegisterFact(fact Fact) {
+	gob.Register(fact)
+}
+
+// A factKey names one object of one package, stably across the two views of
+// a package the loader produces (type-checked from source when the package
+// is analyzed, imported from gc export data when a later package refers to
+// it). Package-level objects are keyed by name; methods by
+// "ReceiverType.Method".
+type factKey struct {
+	Pkg    string
+	Object string
+}
+
+// objectFactKey derives the stable key for obj, or ok=false if obj is not a
+// package-level object facts can attach to.
+func objectFactKey(obj types.Object) (factKey, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return factKey{}, false
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return factKey{}, false
+			}
+			name = named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return factKey{Pkg: obj.Pkg().Path(), Object: name}, true
+}
+
+// A factEntry is the serialized form of one object fact.
+type factEntry struct {
+	Object string
+	Fact   Fact
+}
+
+// A factStore holds one analyzer's facts across a whole Run. Facts exported
+// while analyzing a package are held live; when the package's pass
+// completes, they are sealed into a gob blob keyed by import path — the
+// in-process analogue of the .facts side files a distributed build would
+// write next to its export data. Importing a fact from an already-analyzed
+// package always goes through the gob decode, so the serialized form is the
+// form of record.
+type factStore struct {
+	current string            // import path of the package being analyzed
+	live    map[string]Fact   // facts of the current package, by object key
+	blobs   map[string][]byte // sealed per-package fact sets, gob-encoded
+	// cache holds the decoded view of blobs, by package.
+	cache map[string]map[string]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		live:  map[string]Fact{},
+		blobs: map[string][]byte{},
+		cache: map[string]map[string]Fact{},
+	}
+}
+
+// begin readies the store for a pass over pkgPath.
+func (s *factStore) begin(pkgPath string) {
+	s.current = pkgPath
+	s.live = map[string]Fact{}
+}
+
+// seal gob-encodes the current package's facts and archives the blob. The
+// entries are sorted by object key so the encoding — and anything derived
+// from it — is deterministic.
+func (s *factStore) seal() error {
+	if s.current == "" {
+		return nil
+	}
+	var entries []factEntry
+	for _, name := range slices.Sorted(maps.Keys(s.live)) {
+		entries = append(entries, factEntry{Object: name, Fact: s.live[name]})
+	}
+	if len(entries) > 0 {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+			return fmt.Errorf("encoding facts for %s: %w", s.current, err)
+		}
+		s.blobs[s.current] = buf.Bytes()
+	}
+	s.current = ""
+	s.live = map[string]Fact{}
+	return nil
+}
+
+// export records fact for obj, which must belong to the package currently
+// being analyzed.
+func (s *factStore) export(obj types.Object, fact Fact) error {
+	key, ok := objectFactKey(obj)
+	if !ok {
+		return fmt.Errorf("cannot attach a fact to %v", obj)
+	}
+	if key.Pkg != s.current {
+		return fmt.Errorf("fact exported for object %s of package %s while analyzing %s", key.Object, key.Pkg, s.current)
+	}
+	s.live[key.Object] = fact
+	return nil
+}
+
+// lookup returns the stored fact for obj, consulting the live set for the
+// current package and the decoded gob archive for any other.
+func (s *factStore) lookup(obj types.Object) (Fact, bool) {
+	key, ok := objectFactKey(obj)
+	if !ok {
+		return nil, false
+	}
+	if key.Pkg == s.current {
+		f, ok := s.live[key.Object]
+		return f, ok
+	}
+	decoded, ok := s.cache[key.Pkg]
+	if !ok {
+		decoded = map[string]Fact{}
+		if blob := s.blobs[key.Pkg]; blob != nil {
+			var entries []factEntry
+			if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&entries); err == nil {
+				for _, e := range entries {
+					decoded[e.Object] = e.Fact
+				}
+			}
+		}
+		s.cache[key.Pkg] = decoded
+	}
+	f, ok := decoded[key.Object]
+	return f, ok
+}
+
+// ExportObjectFact attaches fact to obj, a package-level object (or method)
+// of the package under analysis, making it visible to later passes of the
+// same analyzer over importing packages.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) error {
+	if p.facts == nil {
+		return fmt.Errorf("analyzer %s has no fact store", p.Analyzer.Name)
+	}
+	return p.facts.export(obj, fact)
+}
+
+// ImportObjectFact copies the fact previously exported for obj — by this
+// pass for the current package, or by an earlier pass over the defining
+// package — into the value fact points to, reporting whether one existed.
+// Packages are analyzed in dependency order, so by the time a call site is
+// reached the callee's facts are always available.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	stored, ok := p.facts.lookup(obj)
+	if !ok {
+		return false
+	}
+	sv := reflect.ValueOf(stored)
+	fv := reflect.ValueOf(fact)
+	if sv.Type() != fv.Type() || fv.Kind() != reflect.Pointer {
+		return false
+	}
+	fv.Elem().Set(sv.Elem())
+	return true
+}

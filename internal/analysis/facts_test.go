@@ -1,0 +1,192 @@
+package analysis
+
+// White-box test of the facts mechanism: seedflow facts exported while
+// analyzing one package must reach an importing package through the
+// gob-serialized store — serialization is the form of record, so this
+// exercises the encode/decode round trip, not just an in-memory map.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// memImporter resolves imports from an in-memory set of checked packages.
+type memImporter map[string]*types.Package
+
+func (m memImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown import %q", path)
+}
+
+// checkSrc parses and type-checks one single-file package from source.
+func checkSrc(t *testing.T, fset *token.FileSet, imp types.Importer, path, src string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+"/x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+}
+
+// A miniature stand-in for internal/sim: the import path suffix is what
+// seedflow keys on, so the fixture package lives at mklite/internal/sim.
+const factsSimSrc = `package sim
+
+type RNG struct{ state uint64 }
+
+func NewRNG(seed uint64) *RNG               { return &RNG{state: seed} }
+func StreamSeed(base, stream uint64) uint64 { return base + stream }
+
+func (r *RNG) Uint64() uint64   { r.state++; return r.state }
+func (r *RNG) Float64() float64 { return float64(r.Uint64()) }
+`
+
+// Package a's NewWorker sinks its parameter into sim.NewRNG and DrawPair
+// draws from its *sim.RNG parameter — both become exported facts.
+const factsASrc = `package a
+
+import "mklite/internal/sim"
+
+func NewWorker(seed uint64) *sim.RNG { return sim.NewRNG(seed) }
+
+func DrawPair(r *sim.RNG) float64 { return r.Float64() + r.Float64() }
+`
+
+// Package b violates rules 1 and 4 only through package a's functions: every
+// diagnostic here depends on facts imported across the package boundary.
+const factsBSrc = `package b
+
+import "mklite/internal/a"
+
+func Correlated(base uint64, i int) {
+	_ = a.NewWorker(base ^ uint64(i))
+}
+
+func TwoPhases(seed uint64) float64 {
+	rng := a.NewWorker(seed)
+	var t float64
+	for i := 0; i < 3; i++ {
+		t += a.DrawPair(rng)
+	}
+	for i := 0; i < 3; i++ {
+		t += a.DrawPair(rng)
+	}
+	return t
+}
+`
+
+func loadFactsFixture(t *testing.T) (simPkg, aPkg, bPkg *Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := memImporter{}
+	simPkg = checkSrc(t, fset, imp, "mklite/internal/sim", factsSimSrc)
+	imp["mklite/internal/sim"] = simPkg.Types
+	aPkg = checkSrc(t, fset, imp, "mklite/internal/a", factsASrc)
+	imp["mklite/internal/a"] = aPkg.Types
+	bPkg = checkSrc(t, fset, imp, "mklite/internal/b", factsBSrc)
+	return simPkg, aPkg, bPkg
+}
+
+func TestSeedFactsCrossPackage(t *testing.T) {
+	simPkg, aPkg, bPkg := loadFactsFixture(t)
+	diags, err := Run([]*Package{simPkg, aPkg, bPkg}, []*Analyzer{SeedFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arith, phases bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "ad-hoc seed arithmetic") &&
+			strings.Contains(d.Message, "a.NewWorker"):
+			arith = true
+		case strings.Contains(d.Message, "drawn from in a second loop"):
+			phases = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !arith {
+		t.Error("seed-parameter fact did not cross the package boundary: no ad-hoc arithmetic diagnostic for a.NewWorker's argument")
+	}
+	if !phases {
+		t.Error("rng-parameter fact did not cross the package boundary: no two-loop diagnostic for a.DrawPair's argument")
+	}
+}
+
+// TestSeedFactsRequireProducerPass is the control: analyzing b without
+// having analyzed a first leaves the fact store empty, so b is silent.
+// Together with TestSeedFactsCrossPackage this proves the diagnostics come
+// from transported facts, not local reasoning.
+func TestSeedFactsRequireProducerPass(t *testing.T) {
+	_, _, bPkg := loadFactsFixture(t)
+	diags, err := Run([]*Package{bPkg}, []*Analyzer{SeedFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic without producer pass: %s", d)
+	}
+}
+
+// TestFactsAreSerialized pins the mechanism itself: after a package is
+// sealed, its facts are held only as gob blobs, and a foreign-package
+// lookup decodes a fresh value rather than aliasing the producer's.
+func TestFactsAreSerialized(t *testing.T) {
+	simPkg, aPkg, _ := loadFactsFixture(t)
+	store := newFactStore()
+	for _, pkg := range []*Package{simPkg, aPkg} {
+		store.begin(pkg.ImportPath)
+		pass := &Pass{
+			Analyzer:  SeedFlow,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			facts:     store,
+			ignores:   buildIgnoreIndex(pkg.Fset, pkg.Files),
+			sink:      func(Diagnostic) {},
+		}
+		if err := SeedFlow.Run(pass); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, ok := store.blobs["mklite/internal/a"]
+	if !ok || len(blob) == 0 {
+		t.Fatal("sealing left no gob blob for mklite/internal/a")
+	}
+	fn, ok := aPkg.Types.Scope().Lookup("NewWorker").(*types.Func)
+	if !ok {
+		t.Fatal("NewWorker not found in package a")
+	}
+	store.begin("mklite/internal/b")
+	var fact seedParamsFact
+	consumer := &Pass{facts: store}
+	if !consumer.ImportObjectFact(fn, &fact) {
+		t.Fatal("ImportObjectFact found no fact for a.NewWorker after sealing")
+	}
+	if len(fact.Params) != 1 || fact.Params[0] != 0 {
+		t.Fatalf("decoded fact = %+v, want Params [0]", fact)
+	}
+}

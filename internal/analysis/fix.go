@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"maps"
+	"os"
+	"slices"
+	"sort"
+)
+
+// FixFiles computes the result of applying every machine-applicable
+// suggested fix in diags, returning the new gofmt-formatted contents of
+// each changed file without writing anything. Overlapping edits are
+// resolved first-wins in diagnostic order; the skipped count reports how
+// many fixes were dropped to a conflict, so a driver can tell the user to
+// re-run.
+func FixFiles(diags []Diagnostic) (fixed map[string][]byte, skipped int, err error) {
+	byFile := map[string][]Edit{}
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.Edits {
+				if e.Filename == "" || e.End < e.Start {
+					return nil, 0, fmt.Errorf("%s: fix %q carries an unresolved edit", d.Pos, fix.Message)
+				}
+				byFile[e.Filename] = append(byFile[e.Filename], e)
+			}
+		}
+	}
+	if len(byFile) == 0 {
+		return nil, 0, nil
+	}
+	fixed = map[string][]byte{}
+	for _, file := range slices.Sorted(maps.Keys(byFile)) {
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		out, skip, aerr := applyEdits(src, byFile[file])
+		if aerr != nil {
+			return nil, 0, fmt.Errorf("%s: %w", file, aerr)
+		}
+		skipped += skip
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			return nil, 0, fmt.Errorf("%s: fixed source does not parse: %w", file, ferr)
+		}
+		fixed[file] = formatted
+	}
+	return fixed, skipped, nil
+}
+
+// ApplyFixes applies every suggested fix in diags to the files on disk and
+// returns the changed file names in sorted order.
+func ApplyFixes(diags []Diagnostic) (changed []string, skipped int, err error) {
+	fixed, skipped, err := FixFiles(diags)
+	if err != nil {
+		return nil, skipped, err
+	}
+	changed = slices.Sorted(maps.Keys(fixed))
+	for _, file := range changed {
+		info, err := os.Stat(file)
+		if err != nil {
+			return nil, skipped, err
+		}
+		if err := os.WriteFile(file, fixed[file], info.Mode().Perm()); err != nil {
+			return nil, skipped, err
+		}
+	}
+	return changed, skipped, nil
+}
+
+// applyEdits splices the edits into src, dropping edits that overlap an
+// earlier (lower-offset) one. A pure deletion that leaves its line holding
+// only whitespace is widened to remove the whole line, so deleting a
+// standalone //mklint:ignore directive does not leave a blank hole.
+func applyEdits(src []byte, edits []Edit) ([]byte, int, error) {
+	sort.SliceStable(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+	var out []byte
+	skipped := 0
+	prevEnd := 0
+	for _, e := range edits {
+		if e.Start < prevEnd {
+			skipped++
+			continue
+		}
+		if e.Start > len(src) || e.End > len(src) {
+			return nil, skipped, fmt.Errorf("edit [%d,%d) outside file of %d bytes", e.Start, e.End, len(src))
+		}
+		start, end := e.Start, e.End
+		if e.NewText == "" {
+			start, end = widenDeletion(src, start, end, prevEnd)
+		}
+		if start < prevEnd {
+			skipped++
+			continue
+		}
+		out = append(out, src[prevEnd:start]...)
+		out = append(out, e.NewText...)
+		prevEnd = end
+	}
+	out = append(out, src[prevEnd:]...)
+	return out, skipped, nil
+}
+
+// widenDeletion extends a deletion to cover the whole source line when the
+// deleted range is the only non-whitespace content on it.
+func widenDeletion(src []byte, start, end, floor int) (int, int) {
+	ls := start
+	for ls > floor && src[ls-1] != '\n' {
+		if src[ls-1] != ' ' && src[ls-1] != '\t' {
+			return start, end // code precedes the range on this line
+		}
+		ls--
+	}
+	le := end
+	for le < len(src) && src[le] != '\n' {
+		if src[le] != ' ' && src[le] != '\t' {
+			return start, end // code follows the range on this line
+		}
+		le++
+	}
+	if le < len(src) {
+		le++ // swallow the newline
+	}
+	return ls, le
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestApplyEditsWidensStandaloneDeletion(t *testing.T) {
+	src := []byte("a\n\t//mklint:ignore maprange x\nb\n")
+	start := 2 // the tab before the comment is whitespace
+	end := start + 1 + len("//mklint:ignore maprange x")
+	out, skipped, err := applyEdits(src, []Edit{{Start: start + 1, End: end, NewText: ""}})
+	if err != nil || skipped != 0 {
+		t.Fatalf("applyEdits: skipped=%d err=%v", skipped, err)
+	}
+	if got, want := string(out), "a\nb\n"; got != want {
+		t.Errorf("deletion not widened to the whole line: got %q, want %q", got, want)
+	}
+}
+
+func TestApplyEditsKeepsTrailingDeletionNarrow(t *testing.T) {
+	src := []byte("code() //mklint:ignore maprange x\nb\n")
+	start := len("code() ")
+	end := len("code() //mklint:ignore maprange x")
+	out, skipped, err := applyEdits(src, []Edit{{Start: start, End: end, NewText: ""}})
+	if err != nil || skipped != 0 {
+		t.Fatalf("applyEdits: skipped=%d err=%v", skipped, err)
+	}
+	if got, want := string(out), "code() \nb\n"; got != want {
+		t.Errorf("trailing deletion must not eat the code line: got %q, want %q", got, want)
+	}
+}
+
+func TestApplyEditsSkipsOverlaps(t *testing.T) {
+	src := []byte("abcdef")
+	out, skipped, err := applyEdits(src, []Edit{
+		{Start: 1, End: 4, NewText: "X"},
+		{Start: 3, End: 5, NewText: "Y"}, // overlaps the first: dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if got, want := string(out), "aXef"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestDedupeDropsIdenticalDiagnostics(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 4, Column: 2}
+	diags := []Diagnostic{
+		{Pos: pos, Analyzer: "floatorder", Message: "same finding"},
+		{Pos: pos, Analyzer: "maprange", Message: "same finding"},
+		{Pos: pos, Analyzer: "maprange", Message: "different finding"},
+		{Pos: token.Position{Filename: "x.go", Line: 9, Column: 2}, Analyzer: "maprange", Message: "same finding"},
+	}
+	sortDiagnostics(diags)
+	out := dedupe(diags)
+	if len(out) != 3 {
+		t.Fatalf("dedupe kept %d diagnostics, want 3: %v", len(out), out)
+	}
+	// Sorted order ties on position break by analyzer name, so the first
+	// reporter wins deterministically.
+	if out[0].Analyzer != "floatorder" {
+		t.Errorf("first reporter at the shared position = %s, want floatorder", out[0].Analyzer)
+	}
+}

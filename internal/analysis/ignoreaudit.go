@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// IgnoreAudit enforces that every //mklint:ignore directive still earns its
+// keep: a directive that no longer suppresses any live diagnostic is itself
+// reported as an error, with a fix that deletes it. Suppressions are review
+// debt — each one records a spot where the determinism contract is bent for
+// a stated reason — and a stale one is pure noise that teaches readers to
+// skim past the marker. The audit only makes sense when the whole suite has
+// run, so the driver executes it after every other analyzer has finished
+// with the package (Run is nil); directives naming an analyzer that was not
+// part of the run are left alone.
+var IgnoreAudit = &Analyzer{
+	Name: "ignoreaudit",
+	Doc: "report //mklint:ignore directives that no longer suppress any " +
+		"diagnostic of the analyzers that ran; stale suppressions are " +
+		"errors and must be deleted",
+	Run: nil, // driven specially by Analyze, after the rest of the suite
+}
+
+// auditPackage reports every stale directive of one package. ranNames holds
+// the analyzers that actually ran, so single-analyzer invocations (tests,
+// future -run filters) do not condemn directives for checks they skipped. A
+// directive naming an analyzer outside the suite is reported too — it can
+// never suppress anything.
+func auditPackage(pkg *Package, ignores *ignoreIndex, ranNames map[string]bool) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, d := range ignores.all {
+		if d.used {
+			continue
+		}
+		var msg string
+		switch {
+		case d.analyzer != "all" && !known[d.analyzer]:
+			msg = fmt.Sprintf("//mklint:ignore names unknown analyzer %q and suppresses nothing; delete it (run `mklint -list` for the suite)", d.analyzer)
+		case d.analyzer != "all" && !ranNames[d.analyzer]:
+			continue // that analyzer did not run; no verdict
+		default:
+			msg = fmt.Sprintf("stale //mklint:ignore %s directive: it no longer suppresses any diagnostic; delete it (reason was: %s)", d.analyzer, d.reason)
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: IgnoreAudit.Name,
+			Message:  msg,
+			SuggestedFixes: []SuggestedFix{{
+				Message: "delete the stale directive",
+				Edits: []Edit{{
+					Filename:  d.pos.Filename,
+					Start:     d.pos.Offset,
+					End:       d.end.Offset,
+					StartLine: d.pos.Line,
+					StartCol:  d.pos.Column,
+					EndLine:   d.end.Line,
+					EndCol:    d.end.Column,
+				}},
+			}},
+		})
+	}
+	return diags
+}
+
+// Ignores returns the suppression inventory of a finished Result rendered
+// one directive per line, stale ones marked. The driver's -ignores mode
+// prints it.
+func (r *Result) RenderIgnores() []string {
+	var lines []string
+	for _, ig := range r.Ignores {
+		status := "live"
+		if !ig.Used {
+			status = "STALE"
+		}
+		lines = append(lines, fmt.Sprintf("%s:%d: %-12s %-5s %s",
+			ig.Pos.Filename, ig.Pos.Line, ig.Analyzer, status, ig.Reason))
+	}
+	return lines
+}
+
+// StaleIgnores counts the stale entries of the inventory.
+func (r *Result) StaleIgnores() int {
+	n := 0
+	for _, ig := range r.Ignores {
+		if !ig.Used {
+			n++
+		}
+	}
+	return n
+}

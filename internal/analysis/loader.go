@@ -38,6 +38,25 @@ type listedPackage struct {
 	Standard   bool
 	Export     string
 	Incomplete bool
+	Error      *listError
+}
+
+// listError mirrors go list's PackageError JSON shape.
+type listError struct {
+	Err string
+}
+
+// A LoadFailure records one package that could not be loaded (unparseable
+// source, go list error). Loading continues past failures so diagnostics
+// for the packages that did load are still reported; the driver exits 2
+// when any failure occurred.
+type LoadFailure struct {
+	ImportPath string
+	Err        error
+}
+
+func (f LoadFailure) Error() string {
+	return fmt.Sprintf("loading %s: %v", f.ImportPath, f.Err)
 }
 
 // goList runs the go command's package loader and decodes its JSON stream.
@@ -127,32 +146,41 @@ func newTypesInfo() *types.Info {
 }
 
 // Load resolves the given go-list patterns (e.g. "./...") relative to dir
-// and returns every matched non-standard package parsed and type-checked.
-// Test files are not loaded; the determinism contract is enforced on the
-// shipped sources, while tests are covered by `go test -race`.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// and returns every matched non-standard package parsed and type-checked,
+// in dependency order (a package's in-module dependencies precede it, the
+// order the facts mechanism needs). Test files are not loaded; the
+// determinism contract is enforced on the shipped sources, while tests are
+// covered by `go test -race`.
+//
+// A package that fails to load — unparseable source, a go list error —
+// does not abort the load: it is returned as a LoadFailure and analysis
+// proceeds on the packages that did load. Only a whole-invocation failure
+// (go list itself unusable) is returned as err.
+func Load(dir string, patterns ...string) ([]*Package, []LoadFailure, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	// One sweep gives both the target packages and export data for the
-	// whole dependency closure.
+	// whole dependency closure. -e keeps broken packages in the stream
+	// (with Error set) instead of failing the listing wholesale; -deps
+	// guarantees dependencies are listed before their dependents.
 	listArgs := append([]string{
-		"-deps", "-export",
-		"-json=ImportPath,Dir,GoFiles,Standard,Export,Incomplete",
+		"-deps", "-export", "-e",
+		"-json=ImportPath,Dir,GoFiles,Standard,Export,Incomplete,Error",
 	}, patterns...)
 	listed, err := goList(dir, listArgs...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cat := newExportCatalog(dir)
 	cat.add(listed)
 
 	// -deps lists dependencies too; keep only packages matched by the
 	// patterns themselves.
-	matchArgs := append([]string{"-json=ImportPath"}, patterns...)
+	matchArgs := append([]string{"-e", "-json=ImportPath"}, patterns...)
 	matched, err := goList(dir, matchArgs...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	wanted := map[string]bool{}
 	for _, p := range matched {
@@ -162,17 +190,26 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	imp := newImporter(fset, cat)
 	var out []*Package
+	var failures []LoadFailure
 	for _, lp := range listed {
 		if !wanted[lp.ImportPath] || lp.Standard {
 			continue
 		}
+		if lp.Error != nil {
+			failures = append(failures, LoadFailure{
+				ImportPath: lp.ImportPath,
+				Err:        fmt.Errorf("%s", strings.TrimSpace(lp.Error.Err)),
+			})
+			continue
+		}
 		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
 		if err != nil {
-			return nil, err
+			failures = append(failures, LoadFailure{ImportPath: lp.ImportPath, Err: err})
+			continue
 		}
 		out = append(out, pkg)
 	}
-	return out, nil
+	return out, failures, nil
 }
 
 // LoadDir parses and type-checks the .go files of a single directory as the

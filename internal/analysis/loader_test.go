@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mklite/internal/analysis"
+)
+
+// TestLoadResilience: one broken package must not abort the load — the good
+// package still comes back for analysis and the broken one is reported as a
+// LoadFailure (the driver turns that into exit 2 after printing the
+// diagnostics it could compute).
+func TestLoadResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := t.TempDir()
+	writeFile := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module brokentest\n\ngo 1.24\n")
+	writeFile("good/good.go", "package good\n\nfunc Ok() int { return 1 }\n")
+	writeFile("bad/bad.go", "package bad\n\nfunc Broken( {\n")
+
+	pkgs, failures, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load aborted instead of degrading: %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "brokentest/good" {
+		t.Errorf("loaded packages = %v, want exactly [brokentest/good]", paths)
+	}
+	if len(failures) != 1 {
+		t.Fatalf("got %d load failures, want 1: %v", len(failures), failures)
+	}
+	if failures[0].ImportPath != "brokentest/bad" {
+		t.Errorf("failure package = %q, want brokentest/bad", failures[0].ImportPath)
+	}
+
+	// The packages that did load are still analyzable.
+	if _, err := analysis.Run(pkgs, analysis.All()); err != nil {
+		t.Fatalf("analyzing surviving packages: %v", err)
+	}
+}

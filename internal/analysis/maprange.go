@@ -257,6 +257,10 @@ func exprString(expr ast.Expr) string {
 		return exprString(e.Fun) + "(...)"
 	case *ast.BasicLit:
 		return e.Value
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
 	default:
 		return "expression"
 	}

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"strings"
 )
 
 // goroutineAllowedPackages are the packages exempt from the bare-goroutine
@@ -26,24 +25,6 @@ var simOnlyPackages = []string{
 	"internal/sim",
 	"internal/kernel",
 	"internal/cluster",
-}
-
-// pathMatches reports whether importPath is root or lies under it, with
-// root anchored at a path-segment boundary.
-func pathMatches(importPath, root string) bool {
-	return importPath == root ||
-		strings.HasSuffix(importPath, "/"+root) ||
-		strings.Contains(importPath, "/"+root+"/") ||
-		strings.HasPrefix(importPath, root+"/")
-}
-
-func pathInAny(importPath string, roots []string) bool {
-	for _, root := range roots {
-		if pathMatches(importPath, root) {
-			return true
-		}
-	}
-	return false
 }
 
 // NoGoroutine forbids bare go statements everywhere in the module except

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 document structure, narrowed to the fields mklint emits.
+// The schema reference lets CI viewers (GitHub code scanning among them)
+// validate and annotate without any mklint-specific glue.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diags as a SARIF 2.1.0 log on w. Every analyzer in
+// analyzers becomes a rule (even if it found nothing, so the rule inventory
+// documents the suite), every diagnostic a result at level error. File
+// paths are made relative to baseDir and forward-slashed, as SARIF URIs
+// require; paths outside baseDir stay absolute.
+func WriteSARIF(w io.Writer, baseDir string, analyzers []*Analyzer, diags []Diagnostic) error {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			idx = len(rules)
+			ruleIndex[d.Analyzer] = idx
+			rules = append(rules, sarifRule{
+				ID:               d.Analyzer,
+				ShortDescription: sarifMessage{Text: d.Analyzer},
+			})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI: sarifURI(baseDir, d.Pos.Filename),
+					},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "mklint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}
+
+// sarifURI renders a filename as a relative forward-slashed URI under
+// baseDir when possible.
+func sarifURI(baseDir, filename string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,116 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"mklite/internal/analysis"
+)
+
+// sarifDoc mirrors the SARIF 2.1.0 fields mklint emits; decoding the output
+// into it (and cross-checking rule indices) is the validity test.
+type sarifDoc struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestWriteSARIF(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/sim/rng.go", Line: 12, Column: 7},
+			Analyzer: "seedflow",
+			Message:  "ad-hoc seed arithmetic",
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/x.go", Line: 3, Column: 1},
+			Analyzer: "maprange",
+			Message:  "iteration over map",
+		},
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, "/mod", analysis.All(), diags); err != nil {
+		t.Fatal(err)
+	}
+	var doc sarifDoc
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("output is not the declared SARIF shape: %v\n%s", err, buf.String())
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema = %q / %q, want SARIF 2.1.0", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "mklint" {
+		t.Errorf("driver name = %q, want mklint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(analysis.All()) {
+		t.Errorf("got %d rules, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(analysis.All()))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	for i, r := range run.Results {
+		if r.Level != "error" {
+			t.Errorf("result %d level = %q, want error", i, r.Level)
+		}
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Fatalf("result %d ruleIndex %d out of range", i, r.RuleIndex)
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("result %d ruleIndex points at rule %q, want %q", i, got, r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(r.Locations))
+		}
+	}
+	first := run.Results[0].Locations[0].PhysicalLocation
+	if first.ArtifactLocation.URI != "internal/sim/rng.go" {
+		t.Errorf("in-module URI = %q, want relative forward-slashed internal/sim/rng.go", first.ArtifactLocation.URI)
+	}
+	if first.Region.StartLine != 12 || first.Region.StartColumn != 7 {
+		t.Errorf("region = %+v, want 12:7", first.Region)
+	}
+	second := run.Results[1].Locations[0].PhysicalLocation
+	if second.ArtifactLocation.URI != "/elsewhere/x.go" {
+		t.Errorf("out-of-module URI = %q, want absolute /elsewhere/x.go", second.ArtifactLocation.URI)
+	}
+}

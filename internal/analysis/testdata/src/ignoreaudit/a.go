@@ -1,0 +1,34 @@
+// Fixture for the ignoreaudit analyzer: a //mklint:ignore directive must
+// still suppress a live diagnostic of an analyzer that ran. A directive
+// that suppresses nothing is stale; one naming an analyzer outside the
+// suite can never suppress anything.
+package ignoreaudit
+
+func live(m map[string]int) []string {
+	var out []string
+	//mklint:ignore maprange caller sorts the result before any use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func stale(xs []int) int {
+	total := 0
+	//mklint:ignore maprange slices range in index order
+	// want(-1) `stale //mklint:ignore maprange directive`
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func unknown(xs []int) int {
+	//mklint:ignore mapsort sorted downstream
+	// want(-1) `names unknown analyzer "mapsort"`
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Fixture for mklint -fix: the base+i*prime seed shape carries a
+// machine-applicable rewrite to sim.StreamSeed; a.go.golden is the exact
+// expected output of applying it.
+package seedflowfix
+
+import "mklite/internal/sim"
+
+// Streams builds one generator per worker with the correlated-seed
+// anti-pattern; -fix rewrites the argument in place.
+func Streams(base uint64, n int) []*sim.RNG {
+	out := make([]*sim.RNG, n)
+	for i := 0; i < n; i++ {
+		out[i] = sim.NewRNG(base + uint64(i)*2654435761) // want `ad-hoc seed arithmetic`
+	}
+	return out
+}

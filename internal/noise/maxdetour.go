@@ -54,6 +54,7 @@ func MaxDetourRank(rng *sim.RNG, p *Profile, ranks int, window sim.Duration) (si
 	}
 	var total sim.Duration
 	for i := range p.Sources {
+		//mklint:ignore seedflow the exact branch above returns first, so only one of the two loops ever draws in a given call
 		total += sourceMax(rng, &p.Sources[i], ranks, window)
 	}
 	return total, -1

@@ -54,6 +54,7 @@ func Map[T any](n int, fn func(i int) T) []T {
 // selects GOMAXPROCS; width 1 degenerates to a plain sequential loop, which
 // the equivalence tests use as the reference execution.
 func MapWidth[T any](width, n int, fn func(i int) T) []T {
+	//mklint:ignore errdrop the adapter closure never returns a non-nil error
 	out, _ := mapImpl(width, n, func(i int) (T, error) { return fn(i), nil })
 	return out
 }
