@@ -124,6 +124,14 @@ func BenchmarkFaultsOffOverhead(b *testing.B) {
 		figure4Run(b, func(cfg *ExperimentConfig) { cfg.Faults = &fault.Plan{} }))
 	b.ReportMetric(probeBest, "wall-s/op")
 	b.ReportMetric(probeSpread, "spread-%")
+	// The estimator can land a hair below zero when the probe's nil fast
+	// path sits inside the noise floor; a negative overhead is a
+	// measurement artifact, not a speedup, and a checked-in negative value
+	// would let a real regression hide inside the slack. The budget only
+	// polices the upper side, so clamp at zero.
+	if overhead < 0 {
+		overhead = 0
+	}
 	b.ReportMetric(overhead, "overhead-%")
 	recordBenchPR5Mode(b, "faults-off", faultBenchReps, probeBest, probeSpread)
 	recordBenchPR5Mode(b, "faults-off-baseline", faultBenchReps, baseBest, baseSpread)
@@ -138,9 +146,9 @@ func BenchmarkFaultsStraggler(b *testing.B) {
 		Stragglers: []fault.Straggler{{Node: 0, Extra: 2 * sim.Millisecond}},
 		Link:       &fault.LinkFault{LossProb: 0.001, Timeout: 50 * sim.Microsecond},
 	}
-	best, spread := benchBestOf(b, figure4Run(b,
+	best, spread := benchBestOfN(b, faultBenchReps, figure4Run(b,
 		func(cfg *ExperimentConfig) { cfg.Faults = plan }))
 	b.ReportMetric(best, "wall-s/op")
 	b.ReportMetric(spread, "spread-%")
-	recordBenchPR5Mode(b, "faults-straggler", benchReps, best, spread)
+	recordBenchPR5Mode(b, "faults-straggler", faultBenchReps, best, spread)
 }

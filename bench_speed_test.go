@@ -1,0 +1,111 @@
+package mklite
+
+// PR 7 speed gate: the calendar-queue / columnar-hot-loop optimisation work
+// is judged by BENCH_PR7.json (same "mklite-bench/v1" schema, compared by
+// cmd/mkbench in CI). Two modes:
+//
+//   - "figure4-quick": the width-1 quick Figure 4 sweep — the same workload
+//     BENCH_PR5's faults-off baseline timed, so the two artifacts are
+//     directly comparable across PRs. This is the PR gate.
+//   - "figure4-full-2048": the complete Figure 4 sweep (Quick off) — every
+//     application at every node count it is evaluated at, up to 2,048
+//     nodes x 64 ranks/node (131,072 ranks, the paper's largest
+//     configuration) on all three kernels. Smoke-scale and full-scale
+//     behaviour differ qualitatively (the order-statistic noise path only
+//     engages beyond 1,024 ranks), so the speedup is also measured at the
+//     scale that matters. Gated behind MKLITE_BENCH_FULL=1 (the nightly CI
+//     step) to keep the PR loop fast; mkbench compare reports a mode
+//     missing from the current file without failing, so the PR gate can
+//     run the quick mode alone against the full baseline.
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mklite/internal/benchfmt"
+)
+
+// fullScaleNodes is the paper's largest evaluated configuration.
+const fullScaleNodes = 2048
+
+var benchPR7 struct {
+	mu   sync.Mutex
+	file *benchfmt.File
+}
+
+func benchPR7File() *benchfmt.File {
+	if benchPR7.file == nil {
+		benchPR7.file = benchfmt.New("figure4-quick", runtime.GOMAXPROCS(0))
+	}
+	return benchPR7.file
+}
+
+// recordBenchPR7Mode rewrites BENCH_PR7.json after every update, so the
+// artifact is valid however many benchmarks the -bench filter selects.
+// Regenerating the *checked-in* artifact therefore needs both modes in one
+// process: MKLITE_BENCH_FULL=1 go test -bench Speed -benchtime 1x -run '^$' .
+// (a quick-only run writes a quick-only file — harmless in CI, where the
+// checked-in baseline is stashed first and mkbench compare never fails a
+// mode that is present on one side only).
+func recordBenchPR7Mode(b *testing.B, mode string, reps int, best, spread float64) {
+	b.Helper()
+	benchPR7.mu.Lock()
+	defer benchPR7.mu.Unlock()
+	f := benchPR7File()
+	f.Modes[mode] = benchfmt.Mode{Reps: reps, Seconds: best, SpreadPercent: spread}
+	out, err := f.Marshal()
+	if err != nil {
+		b.Fatalf("marshal BENCH_PR7: %v", err)
+	}
+	if err := os.WriteFile("BENCH_PR7.json", out, 0o644); err != nil {
+		b.Fatalf("write BENCH_PR7.json: %v", err)
+	}
+}
+
+// BenchmarkSpeedFigure4Quick times the quick Figure 4 sweep best-of-N —
+// the cross-PR wall-clock trajectory the 25%-improvement acceptance gate
+// of the calendar-queue PR was judged on.
+func BenchmarkSpeedFigure4Quick(b *testing.B) {
+	best, spread := benchBestOf(b, figure4Run(b, nil))
+	b.ReportMetric(best, "wall-s/op")
+	b.ReportMetric(spread, "spread-%")
+	recordBenchPR7Mode(b, "figure4-quick", repsFor(b), best, spread)
+}
+
+// BenchmarkSpeedFigure4FullScale times the complete Figure 4 sweep with
+// Quick off: all node counts per application — seven of the eight reach
+// fullScaleNodes; lulesh's cubic job sizes top out at 1,728 — on all three
+// kernels, same reps as the quick grid.
+func BenchmarkSpeedFigure4FullScale(b *testing.B) {
+	if os.Getenv("MKLITE_BENCH_FULL") == "" {
+		b.Skip("full-scale bench: set MKLITE_BENCH_FULL=1 (nightly CI runs it)")
+	}
+	sawFull := false
+	for _, a := range Apps() {
+		for _, n := range a.NodeCounts {
+			if n == fullScaleNodes {
+				sawFull = true
+			}
+		}
+	}
+	if !sawFull {
+		b.Fatal("no application scales to 2048 nodes")
+	}
+	cfg := benchCfg()
+	cfg.Quick = false
+	run := func() {
+		figs, _, err := ReproduceFigure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 8 {
+			b.Fatalf("expected 8 figures, got %d", len(figs))
+		}
+	}
+	best, spread := benchBestOf(b, run)
+	b.ReportMetric(best, "wall-s/op")
+	b.ReportMetric(spread, "spread-%")
+	recordBenchPR7Mode(b, "figure4-full-2048", repsFor(b), best, spread)
+}

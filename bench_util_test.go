@@ -73,6 +73,21 @@ func benchBestOf(b *testing.B, run func()) (best, spread float64) {
 	return bestSpread(samples)
 }
 
+// benchBestOfN is benchBestOf with an explicit rep floor, for benchmarks
+// whose artifact must carry the same rep count as sibling modes measured
+// with more reps than the default benchReps.
+func benchBestOfN(b *testing.B, n int, run func()) (best, spread float64) {
+	b.Helper()
+	if b.N > n {
+		n = b.N
+	}
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = timed(run)
+	}
+	return bestSpread(samples)
+}
+
 // benchInterleaved times base and probe alternately (base first) so both
 // see the same slow drift in machine load; the overhead percentage
 // computed from the two bests is then a within-window comparison.

@@ -42,6 +42,32 @@ type nodeState struct {
 	// shmFault is the timed first-touch cost of the MPI shared-memory
 	// windows (avoided by --mpol-shm-premap).
 	shmFault sim.Duration
+
+	// Columnar (struct-of-arrays) mirrors of the per-rank state the step
+	// loop reads every iteration: the hot loop walks these dense slices
+	// instead of chasing a *rankState per rank per step. Built once by
+	// buildColumns after setup; rankState stays the construction-time
+	// view.
+	heaps    []mem.Heap
+	memTimes []sim.Duration
+	// memMax is the maximum of memTimes — step-invariant (memory service
+	// time depends only on placement, fixed after setup), so the step
+	// loop reads it instead of re-scanning the ranks every timestep.
+	memMax sim.Duration
+}
+
+// buildColumns populates the columnar mirrors from the per-rank structs.
+func (ns *nodeState) buildColumns() {
+	ns.heaps = make([]mem.Heap, len(ns.ranks))
+	ns.memTimes = make([]sim.Duration, len(ns.ranks))
+	ns.memMax = 0
+	for i, rs := range ns.ranks {
+		ns.heaps[i] = rs.heap
+		ns.memTimes[i] = rs.memTime
+		if rs.memTime > ns.memMax {
+			ns.memMax = rs.memTime
+		}
+	}
 }
 
 // rotateLocalFirst orders domain ids so that the rank's home-quadrant
@@ -254,10 +280,12 @@ func setupNode(k kernel.Kernel, j Job, rng *sim.RNG) (*nodeState, error) {
 		}
 	}
 
-	// Derive each rank's per-step memory service time.
+	// Derive each rank's per-step memory service time, then hoist the
+	// hot-loop state into columnar form.
 	for _, rs := range ns.ranks {
 		rs.memTime = memTimeFor(k, j, rs)
 	}
+	ns.buildColumns()
 	return ns, nil
 }
 

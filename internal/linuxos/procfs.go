@@ -18,13 +18,22 @@ import (
 // McKernel re-implements a subset reflecting its own resource partition
 // (section II-D4).
 type ProcFS struct {
+	// Construction inputs, retained so the file map can be synthesised
+	// lazily: every kernel boot creates a ProcFS, but most simulated runs
+	// never read a pseudo-file, and formatting cpuinfo for 272 logical
+	// CPUs per boot dominated setup time. The content is a pure function
+	// of these inputs, so deferral is invisible to readers.
+	node    *hw.NodeSpec
+	cpus    []int
+	domains []hw.DomainSpec
+
 	files map[string]string
 }
 
 // NewProcFS builds the full Linux pseudo-filesystem view of a node: all
 // CPUs and all NUMA domains are visible.
 func NewProcFS(node *hw.NodeSpec) *ProcFS {
-	return buildProcFS(node, allCPUs(node), node.Domains)
+	return &ProcFS{node: node, cpus: allCPUs(node), domains: node.Domains}
 }
 
 // NewPartitionProcFS builds the view an LWK exposes: only the partition's
@@ -47,7 +56,7 @@ func NewPartitionProcFS(node *hw.NodeSpec, part kernel.Partition) *ProcFS {
 			domains = append(domains, d)
 		}
 	}
-	return buildProcFS(node, cpus, domains)
+	return &ProcFS{node: node, cpus: cpus, domains: domains}
 }
 
 func allCPUs(node *hw.NodeSpec) []int {
@@ -59,8 +68,15 @@ func allCPUs(node *hw.NodeSpec) []int {
 	return cpus
 }
 
-func buildProcFS(node *hw.NodeSpec, cpus []int, domains []hw.DomainSpec) *ProcFS {
-	p := &ProcFS{files: make(map[string]string)}
+// ensure synthesises the file map on first access.
+func (p *ProcFS) ensure() {
+	if p.files == nil {
+		buildProcFS(p, p.node, p.cpus, p.domains)
+	}
+}
+
+func buildProcFS(p *ProcFS, node *hw.NodeSpec, cpus []int, domains []hw.DomainSpec) {
+	p.files = make(map[string]string)
 
 	var cpuinfo strings.Builder
 	for _, cpu := range cpus {
@@ -101,7 +117,6 @@ func buildProcFS(node *hw.NodeSpec, cpus []int, domains []hw.DomainSpec) *ProcFS
 		}
 		p.files[prefix+"/cpulist"] = rangeString(local)
 	}
-	return p
 }
 
 func contains(xs []int, x int) bool {
@@ -145,6 +160,7 @@ func rangeString(xs []int) string {
 
 // Read returns the content of a pseudo-file.
 func (p *ProcFS) Read(path string) (string, error) {
+	p.ensure()
 	if c, ok := p.files[path]; ok {
 		return c, nil
 	}
@@ -153,12 +169,14 @@ func (p *ProcFS) Read(path string) (string, error) {
 
 // Has reports whether the path exists.
 func (p *ProcFS) Has(path string) bool {
+	p.ensure()
 	_, ok := p.files[path]
 	return ok
 }
 
 // List returns all paths in sorted order.
 func (p *ProcFS) List() []string {
+	p.ensure()
 	return slices.Sorted(maps.Keys(p.files))
 }
 

@@ -102,11 +102,14 @@ type MixKey struct {
 	Page hw.PageSize
 }
 
-// TouchResult reports what servicing a first-touch traversal did.
+// TouchResult reports what servicing a first-touch traversal did. Where
+// the placed bytes landed is not repeated here: per-domain residency is a
+// property of the VMA (VMA.DomainsOf), and keeping a map on this result —
+// returned once per Touch on the cluster hot path — was the largest
+// allocation site in the whole harness.
 type TouchResult struct {
 	Faults         int64
 	BytesPopulated int64
-	PerDomain      map[int]int64
 }
 
 // AddrSpace is a process virtual address space. All physical backing comes
@@ -324,7 +327,7 @@ func (as *AddrSpace) Touch(v *VMA, offset, length int64) TouchResult {
 // even when the policy would otherwise allow 2 MiB.
 func (as *AddrSpace) TouchWithPage(v *VMA, offset, length int64, maxPage hw.PageSize) TouchResult {
 	if length <= 0 {
-		return TouchResult{PerDomain: map[int]int64{}}
+		return TouchResult{}
 	}
 	end := offset + length
 	res := as.demandPopulate(v, end, maxPage, true)
@@ -382,7 +385,7 @@ func (as *AddrSpace) Trim(v *VMA, newEnd int64) int64 {
 // application-driven first touch (counted as demand faults in the sink);
 // kernel-driven population (PopulateTo) passes false.
 func (as *AddrSpace) demandPopulate(v *VMA, end int64, maxPage hw.PageSize, faulting bool) TouchResult {
-	res := TouchResult{PerDomain: map[int]int64{}}
+	res := TouchResult{}
 	if maxPage == 0 || !maxPage.Valid() {
 		maxPage = v.Pol.MaxPage
 	}
@@ -424,7 +427,6 @@ func (as *AddrSpace) demandPopulate(v *VMA, end int64, maxPage hw.PageSize, faul
 			for _, e := range exts {
 				v.Backings = append(v.Backings, Backing{Ext: e, Page: p})
 				faults += e.Size / granule
-				res.PerDomain[dom] += e.Size
 			}
 			res.Faults += faults
 			if counting {

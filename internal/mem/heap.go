@@ -21,6 +21,19 @@ type Work struct {
 	SyscallIssued  bool  // a kernel crossing happened
 }
 
+// PureSyscall reports whether the work consists of kernel crossings only —
+// every physical component (faults, mappings, zeroing, allocation, freeing,
+// migration) is zero. A brk-trace replay whose per-step work is pure
+// syscall and whose size returned to its starting point left the heap and
+// the physical allocator in exactly the state they started the step in, so
+// every subsequent replay of the same trace is identical — the condition
+// the cluster hot loop's steady-state memoization keys on.
+func (w Work) PureSyscall() bool {
+	return w.Faults == 0 && w.PagesMapped == 0 && w.ZeroedBytes == 0 &&
+		w.AllocatedBytes == 0 && w.FreedBytes == 0 && w.CopiedBytes == 0 &&
+		w.FailedBytes == 0
+}
+
 // Accumulate adds w2 into w.
 func (w *Work) Accumulate(w2 Work) {
 	w.Faults += w2.Faults

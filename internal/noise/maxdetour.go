@@ -80,10 +80,9 @@ func sourceMax(rng *sim.RNG, s *Source, ranks int, window sim.Duration) sim.Dura
 	// Base (log-normal) component maximum via inverse CDF.
 	var max sim.Duration
 	if s.CV > 0 {
-		sigma2 := math.Log(1 + s.CV*s.CV)
-		mu := math.Log(s.Mean.Seconds()) - sigma2/2
+		mu, sigma := s.lnParams()
 		u := math.Pow(rng.Float64(), 1/k)
-		max = sim.DurationOf(math.Exp(mu + math.Sqrt(sigma2)*normInv(u)))
+		max = sim.DurationOf(math.Exp(mu + sigma*normInv(u)))
 	} else {
 		max = s.Mean
 	}

@@ -49,6 +49,35 @@ type Source struct {
 	// per-run single-goroutine contract (profiles travel with the run's
 	// RNG, never shared across par closures).
 	ctr string
+
+	// lnMu/lnSigma cache the log-normal parameters derived from Mean and
+	// CV (two math.Log and a math.Sqrt per detour otherwise — a
+	// measurable share of the whole harness, since every source draws
+	// every timestep). Same lazy single-goroutine contract as ctr; the
+	// cached values come from the exact expressions the uncached code
+	// evaluated, so draws are bit-identical.
+	lnOK          bool
+	lnMu, lnSigma float64
+
+	// lamWindow/lamVal/lamExp cache the Poisson occurrence-count
+	// parameters for the last window seen. The detour window is constant
+	// across the timesteps of a run whenever the per-step base time is
+	// (the common case), so the cache turns a math.Exp per source per
+	// step into one per run.
+	lamWindow sim.Duration
+	lamVal    float64
+	lamExp    float64 // exp(-lamVal); consulted only when lamVal <= 30
+}
+
+// lnParams returns the (mu, sigma) of the log-normal detour model, cached.
+func (s *Source) lnParams() (mu, sigma float64) {
+	if !s.lnOK {
+		sigma2 := math.Log(1 + s.CV*s.CV)
+		s.lnMu = math.Log(s.Mean.Seconds()) - sigma2/2
+		s.lnSigma = math.Sqrt(sigma2)
+		s.lnOK = true
+	}
+	return s.lnMu, s.lnSigma
 }
 
 // counterName returns the cached "noise.src.<name>_ns" counter name.
@@ -70,8 +99,16 @@ func (s *Source) sampleCount(rng *sim.RNG, window sim.Duration) int {
 	if s.Period <= 0 || window <= 0 {
 		return 0
 	}
-	lambda := float64(window) / float64(s.Period)
-	return poisson(rng, lambda)
+	if window != s.lamWindow {
+		s.lamWindow = window
+		s.lamVal = float64(window) / float64(s.Period)
+		if s.lamVal <= 30 {
+			s.lamExp = math.Exp(-s.lamVal)
+		} else {
+			s.lamExp = 0
+		}
+	}
+	return rng.PoissonExp(s.lamVal, s.lamExp)
 }
 
 // sampleDetour draws one detour duration.
@@ -79,9 +116,8 @@ func (s *Source) sampleDetour(rng *sim.RNG) sim.Duration {
 	d := s.Mean
 	if s.CV > 0 && s.Mean > 0 {
 		// Log-normal with the requested mean and CV.
-		sigma2 := math.Log(1 + s.CV*s.CV)
-		mu := math.Log(s.Mean.Seconds()) - sigma2/2
-		d = sim.DurationOf(rng.LogNormal(mu, math.Sqrt(sigma2)))
+		mu, sigma := s.lnParams()
+		d = sim.DurationOf(rng.LogNormal(mu, sigma))
 	}
 	if s.TailProb > 0 && rng.Bool(s.TailProb) {
 		tail := sim.DurationOf(rng.Pareto(s.TailScale.Seconds(), s.TailAlpha))

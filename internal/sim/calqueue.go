@@ -1,0 +1,196 @@
+package sim
+
+import "math"
+
+// calQueue is a calendar queue (Brown 1988): the engine's pending-event set
+// bucketed by timestamp so that push and pop are O(1) amortized instead of
+// the binary heap's O(log n). Each bucket is a "day" of `width` nanoseconds;
+// the buckets wrap around like a calendar, so bucket i holds every event
+// whose timestamp falls in day i of *any* year. Pop scans days forward from
+// the last popped timestamp; because simulations schedule most events a
+// short, similar distance into the future, the next event is almost always
+// within the first day or two of the scan.
+//
+// Ordering contract (identical to the heap it replaced): events pop in
+// (at, seq) order — strictly by timestamp, FIFO by insertion seq within a
+// timestamp. Same-timestamp events always land in the same bucket, where
+// they are kept sorted by seq, so the FIFO tie-break is structural rather
+// than incidental.
+//
+// Invariant: q.last <= the timestamp of every queued event. The engine
+// normally guarantees this (At panics on past timestamps and last tracks
+// popped events), but peek advances last to the minimum it found, and a
+// subsequent RunUntil deadline can rewind the engine clock below it — so
+// push restores the invariant by lowering last when it sees an earlier
+// timestamp. Lowering last is always safe: the scan merely starts earlier.
+type calQueue struct {
+	buckets []calBucket
+	mask    int    // len(buckets)-1; bucket count is a power of two
+	width   uint64 // bucket width in virtual nanoseconds, >= 1
+	size    int    // queued events, including cancelled ones not yet popped
+	last    Time   // scan floor: no queued event is earlier
+}
+
+// calBucket is one calendar day: events sorted by (at, seq). Popping
+// advances head (nil-ing the slot so the Event can be collected); the slice
+// is reset once drained so its capacity is reused.
+type calBucket struct {
+	evs  []*Event
+	head int
+}
+
+// calMinBuckets is the smallest bucket count; resizing never shrinks below
+// it.
+const calMinBuckets = 8
+
+func (q *calQueue) init() {
+	q.buckets = make([]calBucket, calMinBuckets)
+	q.mask = calMinBuckets - 1
+	q.width = 1
+	q.size = 0
+	q.last = 0
+}
+
+// bucketFor maps a timestamp to its calendar day.
+func (q *calQueue) bucketFor(t Time) int {
+	return int((uint64(t) / q.width)) & q.mask
+}
+
+// push inserts ev, keeping its bucket sorted by (at, seq). Because seq is
+// monotone, an event scheduled later than everything in its bucket — the
+// common case — is a plain append.
+func (q *calQueue) push(ev *Event) {
+	if q.size == 0 || ev.at < q.last {
+		q.last = ev.at
+	}
+	q.insert(ev)
+	q.size++
+	if q.size > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+func (q *calQueue) insert(ev *Event) {
+	b := &q.buckets[q.bucketFor(ev.at)]
+	b.evs = append(b.evs, ev)
+	i := len(b.evs) - 1
+	for i > b.head {
+		prev := b.evs[i-1]
+		if prev.at < ev.at || (prev.at == ev.at && prev.seq < ev.seq) {
+			break
+		}
+		b.evs[i] = prev
+		i--
+	}
+	b.evs[i] = ev
+}
+
+// peek returns the minimum queued event by (at, seq) without removing it,
+// or nil when the queue is empty. It tightens q.last to the found timestamp
+// so the following pop (and the next peek) find it in the first bucket.
+func (q *calQueue) peek() *Event {
+	if q.size == 0 {
+		return nil
+	}
+	start := int(uint64(q.last)/q.width) & q.mask
+	// top is the exclusive end of the current scan day, saturating so
+	// timestamps near Never cannot overflow the comparison.
+	top := (uint64(q.last)/q.width + 1) * q.width
+	for i := 0; i <= q.mask; i++ {
+		b := &q.buckets[(start+i)&q.mask]
+		if b.head < len(b.evs) {
+			if ev := b.evs[b.head]; uint64(ev.at) < top {
+				q.last = ev.at
+				return ev
+			}
+		}
+		next := top + q.width
+		if next < top {
+			next = math.MaxUint64
+		}
+		top = next
+	}
+	// Full lap without a hit: the next event is more than a full calendar
+	// year away. Fall back to a direct minimum over the bucket heads.
+	var min *Event
+	for bi := range q.buckets {
+		b := &q.buckets[bi]
+		if b.head >= len(b.evs) {
+			continue
+		}
+		ev := b.evs[b.head]
+		if min == nil || ev.at < min.at || (ev.at == min.at && ev.seq < min.seq) {
+			min = ev
+		}
+	}
+	q.last = min.at
+	return min
+}
+
+// pop removes and returns the minimum queued event, or nil when empty.
+func (q *calQueue) pop() *Event {
+	ev := q.peek()
+	if ev == nil {
+		return nil
+	}
+	// peek set q.last = ev.at, so ev is at the head of last's bucket.
+	b := &q.buckets[q.bucketFor(ev.at)]
+	b.evs[b.head] = nil
+	b.head++
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+	}
+	q.size--
+	if q.size < len(q.buckets)/2 && len(q.buckets) > calMinBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+	return ev
+}
+
+// resize rebuilds the calendar with nbuckets buckets and a width recalibrated
+// to the average inter-event gap, so a year (nbuckets x width) spans the
+// queued events and the pop scan touches O(1) buckets per event.
+func (q *calQueue) resize(nbuckets int) {
+	all := make([]*Event, 0, q.size)
+	minAt, maxAt := Never, Time(0)
+	for bi := range q.buckets {
+		b := &q.buckets[bi]
+		for _, ev := range b.evs[b.head:] {
+			all = append(all, ev)
+			if ev.at < minAt {
+				minAt = ev.at
+			}
+			if ev.at > maxAt {
+				maxAt = ev.at
+			}
+		}
+	}
+	width := uint64(1)
+	if n := len(all); n > 1 && maxAt > minAt {
+		if w := uint64(maxAt-minAt) / uint64(n); w > width {
+			width = w
+		}
+	}
+	q.buckets = make([]calBucket, nbuckets)
+	q.mask = nbuckets - 1
+	q.width = width
+	for _, ev := range all {
+		q.insert(ev)
+	}
+}
+
+// clear cancels and discards every queued event, nil-ing the stored slots so
+// the backing arrays retain no Event (and closure) references.
+func (q *calQueue) clear() {
+	for bi := range q.buckets {
+		b := &q.buckets[bi]
+		for i := b.head; i < len(b.evs); i++ {
+			b.evs[i].dead = true
+			b.evs[i] = nil
+		}
+		b.evs = b.evs[:0]
+		b.head = 0
+	}
+	q.size = 0
+}

@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 
 	"mklite/internal/trace"
 )
@@ -14,8 +14,7 @@ type Event struct {
 	at   Time
 	seq  uint64 // tiebreaker: insertion order
 	fn   func()
-	dead bool // cancelled events stay in the heap but are skipped
-	idx  int  // heap index, -1 once popped
+	dead bool // cancelled events stay in the queue but are skipped
 }
 
 // Cancel prevents the event from running. Cancelling an already-executed or
@@ -28,50 +27,23 @@ func (ev *Event) Cancelled() bool { return ev.dead }
 // When returns the virtual time the event is scheduled for.
 func (ev *Event) When() Time { return ev.at }
 
-// eventHeap implements heap.Interface ordered by (time, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a sequential discrete-event simulator. It is not safe for
 // concurrent use; cooperative processes spawned with Spawn hand control back
 // and forth with the engine so that exactly one goroutine runs at a time.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events calQueue
 	rng    *RNG
 
 	executed uint64 // number of events run, for diagnostics
 	running  bool
 	stopped  bool
 
-	procs   map[*Proc]struct{}
+	// procs maps each live process to its spawn sequence number, so
+	// teardown paths (Drain) can order processes deterministically.
+	procs   map[*Proc]uint64
+	procSeq uint64
 	yieldCh chan struct{} // proc -> engine: "I have blocked or finished"
 
 	// sink is the run's trace destination; subsystems built on the engine
@@ -84,11 +56,13 @@ type Engine struct {
 // NewEngine returns an engine with its clock at zero, drawing randomness
 // from the given seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{
+	e := &Engine{
 		rng:     NewRNG(seed),
-		procs:   make(map[*Proc]struct{}),
+		procs:   make(map[*Proc]uint64),
 		yieldCh: make(chan struct{}),
 	}
+	e.events.init()
+	return e
 }
 
 // Now returns the current virtual time.
@@ -109,7 +83,7 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled events that have not yet been skipped).
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.events.size }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: virtual time is monotone by construction, so a past timestamp is
@@ -120,7 +94,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	}
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return ev
 }
 
@@ -139,8 +113,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single next event, advancing the clock to its timestamp.
 // It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+	for {
+		ev := e.events.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.dead {
 			continue
 		}
@@ -149,7 +126,6 @@ func (e *Engine) Step() bool {
 		ev.fn()
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
@@ -170,29 +146,44 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	defer func() { e.running = false }()
 
 	for !e.stopped {
-		if len(e.events) == 0 {
+		ev := e.events.peek()
+		if ev == nil {
 			break
 		}
-		if e.events[0].at > deadline {
+		if ev.at > deadline {
 			e.now = deadline
 			break
 		}
 		e.Step()
 	}
-	if deadline != Never && e.now < deadline && len(e.events) == 0 {
+	if deadline != Never && e.now < deadline && e.events.size == 0 {
 		e.now = deadline
 	}
 	return e.now
 }
 
-// Drain cancels every pending event and kills every live process. The engine
-// remains usable afterwards; the clock does not move.
+// Drain cancels every pending event and kills every live process, then runs
+// the resulting kill deliveries so each killed process unwinds (running its
+// deferred cleanup) before Drain returns. Processes are killed in spawn
+// order — iterating the procs map directly would make the teardown order,
+// and therefore any trace output or side effects of the unwinding, vary
+// between runs. The engine remains usable afterwards; the clock does not
+// move.
 func (e *Engine) Drain() {
-	for _, ev := range e.events {
-		ev.Cancel()
-	}
+	// Clearing the queue nils the stored slots: the old truncate-in-place
+	// retained every Event (and its fn closure) in the backing array.
+	e.events.clear()
+	live := make([]*Proc, 0, len(e.procs))
+	//mklint:ignore maprange collection order is erased by the spawn-sequence sort below
 	for p := range e.procs {
+		live = append(live, p)
+	}
+	sort.Slice(live, func(i, j int) bool { return e.procs[live[i]] < e.procs[live[j]] })
+	for _, p := range live {
 		p.Kill()
 	}
-	e.events = e.events[:0]
+	// Deliver the kill dispatches now: dropping them (as the old Drain
+	// did) left every killed process goroutine blocked forever.
+	for e.Step() {
+	}
 }

@@ -28,7 +28,8 @@ type procKilled struct{ p *Proc }
 // name is used in diagnostics only.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan procMsg)}
-	e.procs[p] = struct{}{}
+	e.procs[p] = e.procSeq
+	e.procSeq++
 	e.After(0, func() {
 		// The engine's dispatch/yield handshake guarantees this is the
 		// only runnable goroutine until the process blocks or exits,

@@ -137,6 +137,10 @@ func (r *RNG) Pareto(xm, alpha float64) float64 {
 	return xm / math.Pow(1-r.Float64(), 1/alpha)
 }
 
+// poissonNormalCutoff is the mean above which Poisson switches from Knuth's
+// product method to the normal approximation.
+const poissonNormalCutoff = 30
+
 // Poisson returns a Poisson(lambda) variate: Knuth's product method for
 // small means, the normal approximation above. Occurrence counts in a
 // window (noise events, lost messages, stalled offloads) are drawn from
@@ -145,14 +149,31 @@ func (r *RNG) Poisson(lambda float64) int {
 	if lambda <= 0 {
 		return 0
 	}
-	if lambda > 30 {
+	if lambda > poissonNormalCutoff {
+		return r.PoissonExp(lambda, 0)
+	}
+	return r.PoissonExp(lambda, math.Exp(-lambda))
+}
+
+// PoissonExp is Poisson with exp(-lambda) supplied by the caller, for hot
+// paths that draw repeatedly at the same mean (the noise sources draw once
+// per source per timestep at a window that rarely changes, and math.Exp was
+// a measurable share of the whole harness). The uniform draw sequence is
+// identical to Poisson's for every lambda, so switching a call site between
+// the two cannot perturb a run. expNegLambda is only consulted on the
+// Knuth branch (lambda <= 30); pass anything (0 is fine) above the cutoff.
+func (r *RNG) PoissonExp(lambda, expNegLambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > poissonNormalCutoff {
 		v := lambda + math.Sqrt(lambda)*r.NormFloat64()
 		if v < 0 {
 			return 0
 		}
 		return int(v + 0.5)
 	}
-	l := math.Exp(-lambda)
+	l := expNegLambda
 	k := 0
 	p := 1.0
 	for {
