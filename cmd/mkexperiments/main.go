@@ -8,7 +8,8 @@
 //	mkexperiments -workers 1      # sequential fan-out (same output, slower)
 //
 // Artifacts: fig4, fig5a, fig5b, fig6a, fig6b, table1, ltp, brktrace,
-// proxyopts, ccsqcd-ddr, corespec, quadrant, ablations, resilience.
+// proxyopts, ccsqcd-ddr, corespec, quadrant, ablations, resilience,
+// facility.
 package main
 
 import (
@@ -179,6 +180,14 @@ func main() {
 		fmt.Println("==== Resilience: one straggler poisons the allreduce (MiniFE) ====")
 		fmt.Println("(fixed per-step detour on one node; slowdown grows as the job scales out)")
 		fmt.Print(fig.Render())
+		fmt.Println()
+	}
+	if sel("facility") {
+		_, rendered, err := mklite.ReproduceFacility(cfg)
+		check(err)
+		fmt.Println("==== Facility: kernel-selection policies at datacenter scale ====")
+		fmt.Println("(same seeded job stream, same facility; only the per-job kernel choice differs)")
+		fmt.Print(rendered)
 		fmt.Println()
 	}
 	if sel("ablations") {

@@ -1,0 +1,157 @@
+// Command mkfleet runs the facility-scale batch-scheduler simulation: a
+// seeded multi-tenant job stream scheduled onto a finite node pool with
+// FIFO + conservative backfill, a pluggable per-job kernel-selection policy,
+// and co-tenancy interference on shared nodes (see docs/FLEET.md).
+//
+// Usage:
+//
+//	mkfleet                                   # 1,000 jobs on 256 nodes, heuristic policy
+//	mkfleet -policy specialize -share 2       # MultiK-style per-app specialization
+//	mkfleet -compare -jobs 200 -nodes 64      # all policies on the same stream
+//	mkfleet -json -seed 7                     # byte-stable JSON (CI diffs two runs)
+//
+// Output is a pure function of the flags: same flags, same bytes, at any
+// -workers width.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"maps"
+	"os"
+	"slices"
+	"strings"
+
+	"mklite/internal/fault"
+	"mklite/internal/fleet"
+	"mklite/internal/sim"
+	"mklite/internal/stats"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 256, "facility size in nodes")
+		jobs     = flag.Int("jobs", 1000, "number of jobs in the stream")
+		seed     = flag.Uint64("seed", 1, "facility seed (drives every stochastic draw)")
+		workers  = flag.Int("workers", 0, "par fan-out width for same-instant launch batches (0 = GOMAXPROCS, 1 = sequential); output is identical at any width")
+		policy   = flag.String("policy", "heuristic", "kernel-selection policy: "+strings.Join(fleet.PolicyNames(), ", "))
+		backfill = flag.Bool("backfill", true, "conservative backfill (false = strict FIFO)")
+		depth    = flag.Int("backfill-depth", 0, "max queued jobs examined per backfill pass (0 = default)")
+		share    = flag.Int("share", 1, "node oversubscription factor (jobs per node; >1 enables co-tenancy interference)")
+		interf   = flag.String("interference", "", "co-tenancy fault-plan template, e.g. 'storm:period=2ms,burst=150us,offload-factor=2' (default: built-in template when -share > 1)")
+		arrival  = flag.Duration("arrival-mean", 0, "mean job interarrival gap (virtual time; 0 = default)")
+		counters = flag.Bool("counters", false, "merge per-job mechanism counters into the result")
+		perjob   = flag.Bool("perjob", false, "include every job's outcome in the result")
+		compare  = flag.Bool("compare", false, "run every policy on the same stream and print a comparison table")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON (byte-stable)")
+	)
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Nodes:         *nodes,
+		Jobs:          *jobs,
+		Seed:          *seed,
+		Workers:       *workers,
+		Backfill:      *backfill,
+		BackfillDepth: *depth,
+		Share:         *share,
+		ArrivalMean:   sim.Duration(*arrival),
+		Counters:      *counters,
+		PerJob:        *perjob,
+	}
+	if *interf != "" {
+		plan, err := fault.ParsePlan(*interf)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Interference = plan
+	}
+
+	if *compare {
+		results := make([]*fleet.Result, 0, len(fleet.PolicyNames()))
+		for _, name := range fleet.PolicyNames() {
+			pol, err := fleet.ParsePolicy(name, cfg.Seed, cfg.Workers, cfg.Interference)
+			if err != nil {
+				fatal(err)
+			}
+			c := cfg
+			c.Policy = pol
+			res, err := fleet.Run(c)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, res)
+		}
+		if *jsonOut {
+			emitJSON(results)
+			return
+		}
+		tbl := stats.NewTable("policy", "jobs/h", "util %", "wait p50 s", "wait p99 s", "backfilled", "interfered")
+		for _, r := range results {
+			tbl.AddRowf("%s|%.1f|%.1f|%.3f|%.3f|%d|%d",
+				r.Policy, r.JobsPerHour, r.UtilizationPct, r.WaitP50Sec, r.WaitP99Sec,
+				r.Backfilled, r.Interfered)
+		}
+		fmt.Print(tbl.Render())
+		return
+	}
+
+	pol, err := fleet.ParsePolicy(*policy, cfg.Seed, cfg.Workers, cfg.Interference)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Policy = pol
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		emitJSON(res)
+		return
+	}
+
+	fmt.Printf("facility: %d nodes (share %d), %d jobs, policy %s\n",
+		res.FacilityNodes, res.Share, res.Jobs, res.Policy)
+	fmt.Printf("  makespan:    %.3f s (virtual)\n", res.MakespanSec)
+	fmt.Printf("  throughput:  %.1f jobs/hour\n", res.JobsPerHour)
+	fmt.Printf("  utilization: %.1f%%\n", res.UtilizationPct)
+	fmt.Printf("  queue wait:  p50 %.3fs  p99 %.3fs  max %.3fs  mean %.3fs\n",
+		res.WaitP50Sec, res.WaitP99Sec, res.WaitMaxSec, res.WaitMeanSec)
+	fmt.Printf("  backfilled:  %d jobs; interfered: %d jobs\n", res.Backfilled, res.Interfered)
+	fmt.Print("  kernels:    ")
+	for _, k := range slices.Sorted(maps.Keys(res.KernelJobs)) {
+		fmt.Printf(" %s:%d", k, res.KernelJobs[k])
+	}
+	fmt.Println()
+	if *counters && len(res.Counters) > 0 {
+		fmt.Println("  counters:")
+		for _, k := range slices.Sorted(maps.Keys(res.Counters)) {
+			fmt.Printf("    %-32s %d\n", k, res.Counters[k])
+		}
+	}
+	if *perjob {
+		fmt.Println("  per-job outcomes: (use -json for machine-readable output)")
+		for i, o := range res.PerJob {
+			if i >= 10 {
+				fmt.Printf("    ... %d more jobs\n", len(res.PerJob)-i)
+				break
+			}
+			fmt.Printf("    job %4d  %-10s %-9s %3d nodes  wait %8.3fs  run %7.3fs\n",
+				o.ID, o.App, o.Kernel, o.Nodes, o.WaitSec, o.ElapsedSec)
+		}
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkfleet:", err)
+	os.Exit(1)
+}

@@ -32,8 +32,10 @@ type ExperimentConfig struct {
 	// figure output is unchanged).
 	Metrics bool
 	// Faults schedules deterministic fault injection for every run behind
-	// a figure (see ParseFaults and docs/FAULTS.md). A nil or empty plan
-	// leaves all output byte-identical to a faultless run.
+	// a figure that carries no job-level plan of its own — a job-level
+	// plan wins outright (see ParseFaults and docs/FAULTS.md,
+	// "Precedence"). A nil or empty plan leaves all output byte-identical
+	// to a faultless run.
 	Faults *fault.Plan
 }
 
@@ -381,6 +383,48 @@ func ReproduceQuadrant(cfg ExperimentConfig) ([]QuadrantRow, error) {
 		out = append(out, QuadrantRow(r))
 	}
 	return out, nil
+}
+
+// FacilityPolicyResult is one kernel-selection policy's facility outcome in
+// the facility-scale comparison (see internal/fleet and docs/FLEET.md).
+type FacilityPolicyResult struct {
+	Policy         string
+	Jobs           int
+	JobsPerHour    float64
+	UtilizationPct float64
+	WaitP50Sec     float64
+	WaitP99Sec     float64
+	Backfilled     int
+	Interfered     int
+	KernelJobs     map[string]int
+}
+
+// ReproduceFacility runs the facility-scale kernel-policy comparison: the
+// same seeded 1,000-job stream (150 under Quick) scheduled onto the same
+// oversubscribed facility under each kernel-selection policy — fixed
+// Linux/McKernel/mOS, the static profile heuristic, and MultiK-style
+// per-app specialization — reporting throughput, utilization and queue-wait
+// quantiles per policy, plus the rendered comparison table.
+func ReproduceFacility(cfg ExperimentConfig) ([]FacilityPolicyResult, string, error) {
+	cmp, err := experiments.Facility(cfg.internal())
+	if err != nil {
+		return nil, "", err
+	}
+	var out []FacilityPolicyResult
+	for _, r := range cmp.Results {
+		out = append(out, FacilityPolicyResult{
+			Policy:         r.Policy,
+			Jobs:           r.Jobs,
+			JobsPerHour:    r.JobsPerHour,
+			UtilizationPct: r.UtilizationPct,
+			WaitP50Sec:     r.WaitP50Sec,
+			WaitP99Sec:     r.WaitP99Sec,
+			Backfilled:     r.Backfilled,
+			Interfered:     r.Interfered,
+			KernelJobs:     r.KernelJobs,
+		})
+	}
+	return out, cmp.Rendered, nil
 }
 
 // AppNodeCounts returns the node counts an app is evaluated on.

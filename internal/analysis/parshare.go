@@ -35,6 +35,12 @@ var parFuncs = map[string]bool{
 //     one across jobs makes each job's fault draws depend on which worker
 //     drew first — the exact scheduling leak the fault determinism
 //     contract (internal/fault point 2) forbids.
+//   - internal/fleet: Scheduler and Allocator are one facility run's
+//     mutable queue/occupancy state. The scheduler's event loop is
+//     sequential by contract; a par worker touching either would make node
+//     placement — and every co-tenancy-scaled interference plan derived
+//     from it — depend on worker scheduling. Launch batches receive
+//     immutable launch specs instead.
 var sharedTypeGroups = []struct {
 	pkg   string // import-path suffix of the owning package
 	disp  string // display prefix in diagnostics
@@ -44,6 +50,7 @@ var sharedTypeGroups = []struct {
 	{"internal/trace", "trace", map[string]bool{"Sink": true, "Counters": true, "Events": true}},
 	{"internal/metrics", "metrics", map[string]bool{"Registry": true, "Histogram": true}},
 	{"internal/fault", "fault", map[string]bool{"Injector": true}},
+	{"internal/fleet", "fleet", map[string]bool{"Scheduler": true, "Allocator": true}},
 }
 
 // ParShare rejects par.Map closures that capture per-job state — a *sim.RNG
@@ -55,10 +62,10 @@ var ParShare = &Analyzer{
 	Name: "parshare",
 	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc), a " +
 		"*trace.Sink (or trace.Counters/trace.Events), a " +
-		"*metrics.Registry (or metrics.Histogram) or a *fault.Injector " +
-		"across a par.Map closure, and forbid package-level trace sinks " +
-		"and metrics registries; per-job state is derived inside the job " +
-		"and merged after the join",
+		"*metrics.Registry (or metrics.Histogram), a *fault.Injector or a " +
+		"*fleet.Scheduler (or fleet.Allocator) across a par.Map closure, " +
+		"and forbid package-level trace sinks and metrics registries; " +
+		"per-job state is derived inside the job and merged after the join",
 	Run: runParShare,
 }
 
@@ -162,6 +169,8 @@ func checkClosure(pass *Pass, lit *ast.FuncLit) {
 				hint = "metrics.NewRegistry(), merged in index order after the join"
 			case isFaultType(v.Type()):
 				hint = "fault.NewInjector(plan, sim.StreamSeed(seed, fault.StreamCluster))"
+			case isFleetType(v.Type()):
+				hint = "decide placement sequentially before the fan-out and pass immutable launch specs into the closure"
 			}
 			pass.Reportf(id.Pos(), "par closure captures %s %q from an enclosing scope: per-job state must be derived inside the job — %s — or worker scheduling leaks into the results (determinism contract, see docs/LINTING.md)",
 				name, id.Name, hint)
@@ -222,4 +231,11 @@ func isMetricsType(t types.Type) bool {
 func isFaultType(t types.Type) bool {
 	_, gi, _ := guardedNamed(t)
 	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/fault"
+}
+
+// isFleetType reports whether t is — or points to — a guarded
+// internal/fleet type.
+func isFleetType(t types.Type) bool {
+	_, gi, _ := guardedNamed(t)
+	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/fleet"
 }

@@ -50,9 +50,12 @@ type Config struct {
 	// digests are unchanged — metrics only observe.
 	Metrics bool
 	// Faults schedules deterministic fault injection (see internal/fault)
-	// for every run behind a figure. A nil or empty plan leaves all output
-	// byte-identical to a faultless run — determinism_test.go enforces it
-	// across fan-out widths.
+	// for every run behind a figure that does not carry a job-level plan
+	// of its own: a non-nil cluster.Job.Faults wins outright and the two
+	// plans are never merged (docs/FAULTS.md, "Precedence";
+	// faults_precedence_test.go pins it). A nil or empty plan leaves all
+	// output byte-identical to a faultless run — determinism_test.go
+	// enforces it across fan-out widths.
 	Faults *fault.Plan
 }
 

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mklite/internal/fleet"
+	"mklite/internal/stats"
+)
+
+// FacilityPolicies are the kernel-selection policies the facility experiment
+// compares, in report order: the three fixed single-kernel facilities
+// everyone operates today, the static profile heuristic, and the MultiK-style
+// measured specialization.
+func FacilityPolicies() []string {
+	return []string{"fixed-linux", "fixed-mckernel", "fixed-mos", "heuristic", "specialize"}
+}
+
+// FacilityComparison is the facility experiment's outcome: one fleet result
+// per policy (FacilityPolicies order) plus the rendered comparison table.
+type FacilityComparison struct {
+	Results  []*fleet.Result
+	Rendered string
+}
+
+// FacilityConfig maps the experiment knobs onto a fleet configuration: a
+// 256-node facility absorbing a 1,000-job stream (64 nodes / 150 jobs under
+// Quick), two-way node sharing with the default co-tenancy interference
+// template, and conservative backfill. The arrival rate scales with facility
+// capacity (the full facility has 4x the quick slot count, so arrivals come
+// 4x as fast) to keep the offered load — and with it a real queue, so the
+// wait quantiles and backfill counts measure something — comparable across
+// the two scales. The policy is filled per comparison leg.
+func FacilityConfig(cfg Config) fleet.Config {
+	fc := fleet.Config{
+		Nodes:       256,
+		Jobs:        1000,
+		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
+		Backfill:    true,
+		Share:       2,
+		ArrivalMean: fleet.DefaultArrivalMean / 4,
+		Counters:    cfg.Counters,
+	}
+	if cfg.Quick {
+		fc.Nodes = 64
+		fc.Jobs = 150
+		fc.ArrivalMean = fleet.DefaultArrivalMean
+	}
+	return fc
+}
+
+// Facility runs the facility-scale policy comparison: the same seeded
+// job stream scheduled onto the same facility under every kernel-selection
+// policy, reporting jobs-per-hour, utilization and queue-wait quantiles per
+// policy. The job stream, arrival process and per-job seeds are identical
+// across legs — only the kernel choice (and through it each job's runtime
+// and the schedule it induces) differs, so the comparison isolates the
+// policy itself.
+func Facility(cfg Config) (*FacilityComparison, error) {
+	cfg = cfg.normalize()
+	base := FacilityConfig(cfg)
+
+	cmp := &FacilityComparison{}
+	for _, name := range FacilityPolicies() {
+		pol, err := fleet.ParsePolicy(name, base.Seed, base.Workers, base.Interference)
+		if err != nil {
+			return nil, err
+		}
+		fc := base
+		fc.Policy = pol
+		res, err := fleet.Run(fc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: facility %s: %w", name, err)
+		}
+		cmp.Results = append(cmp.Results, res)
+	}
+
+	tbl := stats.NewTable("policy", "jobs/h", "util %", "wait p50 s", "wait p99 s", "backfilled", "interfered", "kernels")
+	for _, r := range cmp.Results {
+		tbl.AddRowf("%s|%.1f|%.1f|%.3f|%.3f|%d|%d|%s",
+			r.Policy, r.JobsPerHour, r.UtilizationPct, r.WaitP50Sec, r.WaitP99Sec,
+			r.Backfilled, r.Interfered, kernelMix(r))
+	}
+	cmp.Rendered = tbl.Render()
+	return cmp, nil
+}
+
+// kernelMix formats a result's per-kernel job counts compactly,
+// deterministically ordered.
+func kernelMix(r *fleet.Result) string {
+	out := ""
+	for _, k := range []string{"Linux", "McKernel", "mOS"} {
+		if n := r.KernelJobs[k]; n > 0 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s:%d", k, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"strings"
+
+	"mklite/internal/apps"
+	"mklite/internal/cluster"
+	"mklite/internal/fault"
+	"mklite/internal/kernel"
+	"mklite/internal/par"
+	"mklite/internal/sim"
+)
+
+// KernelPolicy chooses a kernel for each job the facility launches — the
+// MultiK-style twist on batch scheduling: the facility can boot Linux,
+// McKernel or mOS per job, and the policy decides which. Implementations
+// must be deterministic pure functions of the job (plus any state computed
+// deterministically at construction); Select is called from the scheduler's
+// single-goroutine event loop, never concurrently.
+type KernelPolicy interface {
+	// Name identifies the policy in results and reports.
+	Name() string
+	// Select returns the kernel to boot for the job.
+	Select(j *Job) kernel.Type
+}
+
+// fixedPolicy runs every job on one kernel — the facility everyone operates
+// today, and the baseline the adaptive policies are measured against.
+type fixedPolicy struct{ k kernel.Type }
+
+// Fixed returns the policy that runs every job on k.
+func Fixed(k kernel.Type) KernelPolicy { return fixedPolicy{k} }
+
+func (p fixedPolicy) Name() string              { return "fixed-" + strings.ToLower(p.k.String()) }
+func (p fixedPolicy) Select(j *Job) kernel.Type { return p.k }
+
+// heuristicPolicy is the static profile heuristic: it reads the
+// application's published syscall/noise profile off its Spec and picks the
+// kernel the paper's mechanisms favour. No measurement, no state — the
+// decision a site admin could make from the app's man page.
+//
+//   - Offload-bound apps — a device-heavy syscall path (DeviceSyscallFactor)
+//     or intense sched_yield spinning — keep paying the proxy/migration
+//     round trip on an LWK, and under co-tenant interference that round
+//     trip inflates; they stay on Linux.
+//   - Everything else is noise-bound at scale: frequent global collectives
+//     amplify Linux's daemon detours, so the LWKs win. Heap-replay-heavy
+//     apps (a non-trivial brk trace) go to mOS, whose heap optimisation is
+//     the paper's section IV subject; the rest go to McKernel.
+type heuristicPolicy struct{}
+
+// Heuristic returns the static profile-based policy.
+func Heuristic() KernelPolicy { return heuristicPolicy{} }
+
+func (heuristicPolicy) Name() string { return "heuristic" }
+
+// Offload-pressure thresholds of the heuristic, exported for the docs and
+// tests: an app whose device syscall factor or per-step sched_yield count
+// reaches these stays on Linux.
+const (
+	HeuristicSyscallFactor = 8.0
+	HeuristicYieldsPerStep = 8000
+)
+
+func (heuristicPolicy) Select(j *Job) kernel.Type {
+	s := j.App
+	if s.DeviceSyscallFactor >= HeuristicSyscallFactor || s.SchedYieldsPerStep >= HeuristicYieldsPerStep {
+		return kernel.TypeLinux
+	}
+	if s.HeapOpsPerStep != nil && len(s.HeapOpsPerStep(j.Nodes)) > 0 {
+		return kernel.TypeMOS
+	}
+	return kernel.TypeMcKernel
+}
+
+// specializePolicy is the MultiK-style measured policy: at construction it
+// calibrates every application on every kernel — one short cluster run per
+// (app, kernel) cell, under the facility's interference template so the
+// choice reflects the environment jobs will actually land in — and
+// specializes each app to the kernel that won its cell. Selection is then a
+// pure table lookup.
+type specializePolicy struct {
+	table map[string]kernel.Type
+}
+
+// calibrationTimesteps is the per-cell budget of the specialize
+// calibration: long enough for the steady-state step cost to dominate boot
+// and setup, short enough that the whole 8x3 grid costs less than a handful
+// of facility jobs.
+const calibrationTimesteps = 12
+
+// Specialize calibrates and returns the per-app specialization policy. The
+// calibration grid (every registry app x every kernel) fans out through
+// internal/par at the given width; results are byte-identical at any
+// width because each cell derives its seed from (seed, cell index) and the
+// argmax is taken after the join, in cell order. interference is the
+// facility's co-tenancy template (nil = calibrate on quiet nodes);
+// calibration applies it at co-tenancy 1.
+func Specialize(seed uint64, workers int, interference *fault.Plan) (KernelPolicy, error) {
+	all := apps.All()
+	kts := []kernel.Type{kernel.TypeLinux, kernel.TypeMcKernel, kernel.TypeMOS}
+	plan := interferenceFor(interference, 1)
+	calSeedBase := sim.StreamSeed(seed, StreamCalibrate)
+
+	foms, err := par.MapWidthErr(workers, len(all)*len(kts), func(i int) (float64, error) {
+		app, kt := all[i/len(kts)], kts[i%len(kts)]
+		spec := *app
+		spec.Timesteps = calibrationTimesteps
+		counts := eligibleNodeCounts(&spec, calibrationNodes)
+		if len(counts) == 0 {
+			return 0, fmt.Errorf("fleet: calibration: %s has no node count <= %d", app.Name, calibrationNodes)
+		}
+		res, err := cluster.Run(cluster.Job{
+			App:    &spec,
+			Kernel: kt,
+			Nodes:  counts[len(counts)-1],
+			Seed:   sim.StreamSeed(calSeedBase, uint64(i)),
+			Faults: plan,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("fleet: calibrating %s on %v: %w", app.Name, kt, err)
+		}
+		return res.FOM, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	table := make(map[string]kernel.Type, len(all))
+	for ai, app := range all {
+		best, bestFOM := kts[0], foms[ai*len(kts)]
+		for ki := 1; ki < len(kts); ki++ {
+			if f := foms[ai*len(kts)+ki]; f > bestFOM {
+				best, bestFOM = kts[ki], f
+			}
+		}
+		table[app.Name] = best
+	}
+	return &specializePolicy{table: table}, nil
+}
+
+// calibrationNodes caps the calibration cell's node count: the largest
+// evaluated size up to this, so the cell sees collective amplification
+// without paying a full-scale run.
+const calibrationNodes = 16
+
+func (p *specializePolicy) Name() string { return "specialize" }
+
+func (p *specializePolicy) Select(j *Job) kernel.Type {
+	if k, ok := p.table[j.App.Name]; ok {
+		return k
+	}
+	return kernel.TypeMcKernel
+}
+
+// Table returns the calibrated app -> kernel map in app-name order, for
+// reports and tests.
+func (p *specializePolicy) Table() []string {
+	var out []string
+	for _, name := range slices.Sorted(maps.Keys(p.table)) {
+		out = append(out, name+"="+strings.ToLower(p.table[name].String()))
+	}
+	return out
+}
+
+// PolicyNames lists the selectable policy spellings of ParsePolicy.
+func PolicyNames() []string {
+	return []string{"fixed-linux", "fixed-mckernel", "fixed-mos", "heuristic", "specialize"}
+}
+
+// ParsePolicy resolves a policy name. "specialize" runs its calibration
+// grid, so it needs the facility seed, fan-out width and interference
+// template; the other policies ignore them.
+func ParsePolicy(name string, seed uint64, workers int, interference *fault.Plan) (KernelPolicy, error) {
+	switch name {
+	case "fixed-linux":
+		return Fixed(kernel.TypeLinux), nil
+	case "fixed-mckernel":
+		return Fixed(kernel.TypeMcKernel), nil
+	case "fixed-mos":
+		return Fixed(kernel.TypeMOS), nil
+	case "heuristic":
+		return Heuristic(), nil
+	case "specialize":
+		return Specialize(seed, workers, interference)
+	default:
+		return nil, fmt.Errorf("fleet: unknown kernel policy %q (known: %v)", name, PolicyNames())
+	}
+}

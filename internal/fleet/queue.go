@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"fmt"
+
+	"mklite/internal/fault"
+	"mklite/internal/kernel"
+	"mklite/internal/sim"
+)
+
+// launch is one job's immutable launch spec: everything a par worker closure
+// needs to execute the job, decided sequentially by the scheduler before the
+// fan-out. Worker closures capture the batch slice, never the Scheduler or
+// Allocator that produced it.
+type launch struct {
+	job        *Job
+	kernel     kernel.Type
+	nodes      []int
+	cotenancy  int
+	plan       *fault.Plan
+	backfilled bool
+}
+
+// profile is the slot-availability timeline the backfill pass plans against:
+// free slot counts over piecewise-constant segments, breakpoints ascending,
+// the last segment extending to sim.Never. Capacity is counted in slots
+// (nodes x share); with Share > 1 a slot fit is an optimistic upper bound on
+// a distinct-node fit, so "start now" decisions additionally check the
+// Allocator — the profile only sizes reservations, where optimism merely
+// costs schedule quality, never correctness.
+type profile struct {
+	times []sim.Time
+	free  []int
+}
+
+// newProfile builds the availability timeline at the given instant from the
+// facility's running set: currently-free slots, rising at each running job's
+// reservation end (launch time + walltime limit; a job already past its
+// limit releases "any moment now", i.e. at now itself).
+func newProfile(now sim.Time, freeNow int, releases []release) *profile {
+	p := &profile{times: []sim.Time{now}, free: []int{freeNow}}
+	for _, r := range releases {
+		t := r.at
+		if t.Before(now) {
+			t = now
+		}
+		p.release(t, r.slots)
+	}
+	return p
+}
+
+// release is one future slot release in the profile's input.
+type release struct {
+	at    sim.Time
+	slots int
+}
+
+// segment returns the index of the segment containing t (times[i] <= t).
+func (p *profile) segment(t sim.Time) int {
+	lo, hi := 0, len(p.times)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.times[mid].After(t) {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// split ensures a breakpoint exists exactly at t (t >= times[0]) and returns
+// its index.
+func (p *profile) split(t sim.Time) int {
+	i := p.segment(t)
+	if p.times[i] == t {
+		return i
+	}
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.free[i+2:], p.free[i+1:])
+	p.times[i+1] = t
+	p.free[i+1] = p.free[i]
+	return i + 1
+}
+
+// release adds slots back to the timeline from t onward.
+func (p *profile) release(t sim.Time, slots int) {
+	for i := p.split(t); i < len(p.times); i++ {
+		p.free[i] += slots
+	}
+}
+
+// take reserves slots on [t, t+d).
+func (p *profile) take(t sim.Time, d sim.Duration, slots int) {
+	end := t.Add(d)
+	lo := p.split(t)
+	hi := p.split(end)
+	for i := lo; i < hi; i++ {
+		p.free[i] -= slots
+		if p.free[i] < 0 {
+			panic(fmt.Sprintf("fleet: profile overdrawn at %v (%d slots short)", p.times[i], -p.free[i]))
+		}
+	}
+}
+
+// fitsAt reports whether slots are free throughout [t, t+d).
+func (p *profile) fitsAt(t sim.Time, d sim.Duration, slots int) bool {
+	end := t.Add(d)
+	for i := p.segment(t); i < len(p.times) && p.times[i].Before(end); i++ {
+		if p.free[i] < slots {
+			return false
+		}
+	}
+	return true
+}
+
+// earliest returns the earliest time >= the profile start at which slots are
+// free for d. Availability is piecewise constant, so only breakpoints need
+// checking; the final segment always has room (every reservation is finite),
+// so the scan terminates.
+func (p *profile) earliest(d sim.Duration, slots int) sim.Time {
+	for _, t := range p.times {
+		if p.fitsAt(t, d, slots) {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("fleet: no feasible start for %d slots (capacity exceeded?)", slots))
+}
+
+// schedulePass decides which queued jobs start at the current virtual
+// instant: the FIFO prefix that fits, then — when the head blocks and
+// Config.Backfill is set — conservative backfill over the remaining queue.
+//
+// The backfill plan is rebuilt from scratch every pass (no reservations
+// persist between events): the head receives a reservation at its earliest
+// feasible start on the slot-availability profile, and up to BackfillDepth
+// queued jobs behind it are examined in arrival order. A candidate starts
+// now only if it fits now (allocator and profile) for its full walltime
+// limit with every earlier reservation intact — the conservative-backfill
+// invariant: backfilled jobs never delay the reserved start of any job ahead
+// of them in the queue. Candidates that cannot start receive reservations of
+// their own, which later candidates must also respect. The invariant is
+// re-verified after the pass by recomputing the head's earliest start over
+// the launches actually made (checkHeadInvariant); a violation is a
+// scheduler bug and panics.
+func (s *Scheduler) schedulePass() []*launch {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	var out []*launch
+	snap := s.snapshot()
+	prof := snap.profile()
+
+	remaining := s.queue[:0:0]
+	headBlocked := false
+	headStart := sim.Never
+	examined := 0
+	for qi, j := range s.queue {
+		if headBlocked && (!s.cfg.Backfill || examined >= s.cfg.BackfillDepth) {
+			remaining = append(remaining, s.queue[qi:]...)
+			break
+		}
+		if !headBlocked {
+			if s.alloc.Fits(j.Nodes) {
+				out = append(out, s.newLaunch(j, false))
+				prof.take(s.clock, j.WallLimit, j.Nodes)
+				continue
+			}
+			headBlocked = true
+			headStart = prof.earliest(j.WallLimit, j.Nodes)
+			prof.take(headStart, j.WallLimit, j.Nodes)
+			remaining = append(remaining, j)
+			examined++
+			continue
+		}
+		examined++
+		if s.alloc.Fits(j.Nodes) && prof.fitsAt(s.clock, j.WallLimit, j.Nodes) {
+			out = append(out, s.newLaunch(j, true))
+			prof.take(s.clock, j.WallLimit, j.Nodes)
+			continue
+		}
+		t := prof.earliest(j.WallLimit, j.Nodes)
+		prof.take(t, j.WallLimit, j.Nodes)
+		remaining = append(remaining, j)
+	}
+	s.queue = remaining
+
+	if headBlocked {
+		s.checkHeadInvariant(snap, out, headStart)
+	}
+	return out
+}
+
+// checkHeadInvariant recomputes the blocked head's earliest start over the
+// pass-start availability plus the launches this pass actually made — no
+// reservations, just committed work — and panics if it moved past the
+// reservation the backfill plan promised. This is the testable backfill
+// invariant from docs/FLEET.md.
+func (s *Scheduler) checkHeadInvariant(snap availSnapshot, out []*launch, headStart sim.Time) {
+	head := s.queue[0]
+	prof := snap.profile()
+	for _, l := range out {
+		prof.take(s.clock, l.job.WallLimit, l.job.Nodes)
+	}
+	if got := prof.earliest(head.WallLimit, head.Nodes); got.After(headStart) {
+		panic(fmt.Sprintf("fleet: backfill delayed the queue head: reserved start %v, now %v",
+			headStart, got))
+	}
+}
+
+// availSnapshot is the facility's slot availability at a pass's start:
+// capacity minus resident jobs, with each running job releasing its slots at
+// its walltime-limit reservation end. Actual completions may come earlier
+// (the scheduler learns exact end times at launch but plans against the
+// limit, like a real conservative-backfill scheduler) — an early finish only
+// makes reservations conservative, never wrong. The snapshot is taken before
+// the pass allocates anything, so the invariant check can replay the pass's
+// launches against unmutated availability.
+type availSnapshot struct {
+	now      sim.Time
+	freeNow  int
+	releases []release
+}
+
+// snapshot captures the current availability.
+func (s *Scheduler) snapshot() availSnapshot {
+	capacity := s.alloc.Nodes() * s.alloc.Share()
+	releases := make([]release, 0, len(s.running))
+	for _, r := range s.running {
+		releases = append(releases, release{at: r.start.Add(r.job.WallLimit), slots: r.job.Nodes})
+	}
+	return availSnapshot{now: s.clock, freeNow: capacity - s.alloc.busy, releases: releases}
+}
+
+// profile builds a fresh planning timeline from the snapshot.
+func (sn availSnapshot) profile() *profile {
+	return newProfile(sn.now, sn.freeNow, sn.releases)
+}
+
+// newLaunch fixes a job's launch decisions: the policy's kernel, the
+// allocator's nodes and the co-tenancy-scaled interference plan.
+func (s *Scheduler) newLaunch(j *Job, backfilled bool) *launch {
+	k := s.cfg.Policy.Select(j)
+	nodes, cotenancy, err := s.alloc.Alloc(j.Nodes)
+	if err != nil {
+		// schedulePass only calls after Fits; reaching here is a bug.
+		panic(err)
+	}
+	return &launch{
+		job:        j,
+		kernel:     k,
+		nodes:      nodes,
+		cotenancy:  cotenancy,
+		plan:       interferenceFor(s.cfg.Interference, cotenancy),
+		backfilled: backfilled,
+	}
+}
