@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -36,6 +37,8 @@ func main() {
 		compare(os.Args[2:])
 	case "show":
 		show(os.Args[2:])
+	case "trend":
+		trend(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -48,6 +51,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   mkbench compare [-tol pct] [-tolpp points] [-budget name=max]... baseline.json current.json
   mkbench show file.json
+  mkbench trend [-tol pct] [-tolpp points] [-fail] BENCH_PR2.json BENCH_PR3.json ...
 `)
 	os.Exit(2)
 }
@@ -119,6 +123,47 @@ func show(args []string) {
 	// formatter for both subcommands.
 	fmt.Printf("%s: %s, GOMAXPROCS=%d\n", fs.Arg(0), f.Figure, f.Maxprocs)
 	fmt.Print(benchfmt.Compare(f, f, 100, 100).Report)
+}
+
+// trend renders the cross-PR perf trajectory from the checked-in BENCH_*
+// files, oldest first, flagging steps that regress beyond their spread-aware
+// band. Legacy pre-schema files (BENCH_PR2/PR3) are accepted via the lenient
+// reader. History is informational by default — pass -fail to gate on it.
+func trend(args []string) {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	tol := fs.Float64("tol", 25, "relative tolerance in percent for mode seconds and speedups (widened per step by both points' recorded spreads)")
+	tolPP := fs.Float64("tolpp", 5, "tolerance in percentage points for derived *_percent metrics")
+	failFlag := fs.Bool("fail", false, "exit 1 when any step in the history regresses beyond its band")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fatal(fmt.Errorf("trend needs at least one benchmark file"))
+	}
+	entries := make([]benchfmt.TrendEntry, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := benchfmt.ReadLenient(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		entries = append(entries, benchfmt.TrendEntry{Label: strings.TrimSuffix(filepath.Base(path), ".json"), File: f})
+	}
+	res := benchfmt.Trend(entries, *tol, *tolPP)
+	fmt.Printf("mkbench trend: %d files (tol %.0f%%, %.0fpp)\n", len(entries), *tol, *tolPP)
+	fmt.Print(res.Report)
+	if len(res.Regressions) > 0 {
+		fmt.Printf("\n%d regression step(s) in the history:\n", len(res.Regressions))
+		for _, r := range res.Regressions {
+			fmt.Println("  " + r)
+		}
+		if *failFlag {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println("\nno regressions beyond tolerance across the history")
 }
 
 func read(path string) *benchfmt.File {

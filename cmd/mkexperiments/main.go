@@ -31,6 +31,7 @@ func main() {
 		counters = flag.Bool("counters", false, "aggregate and print mechanism counters per figure")
 		metricsF = flag.Bool("metrics", false, "aggregate and print the metrics profile (phases, latency histograms) per figure")
 		faults   = flag.String("faults", "", "fault plan applied to every run, e.g. 'link:loss=0.001,timeout=50us' (see docs/FAULTS.md)")
+		sloSpec  = flag.String("slo", "", "SLO spec evaluated per facility-comparison leg, e.g. 'utilization_pct>=50;wait_p99_sec<=7200'; 'default' selects the stock facility SLO (see docs/OBSERVABILITY.md)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,12 @@ func main() {
 		plan, err := mklite.ParseFaults(*faults)
 		check(err)
 		cfg.Faults = plan
+	}
+	if *sloSpec != "" {
+		cfg.SLO = *sloSpec
+		if *sloSpec == "default" {
+			cfg.SLO = mklite.DefaultFacilitySLO
+		}
 	}
 	want := map[string]bool{}
 	if *only != "" {

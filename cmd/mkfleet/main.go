@@ -25,6 +25,7 @@ import (
 
 	"mklite/internal/fault"
 	"mklite/internal/fleet"
+	"mklite/internal/obs"
 	"mklite/internal/sim"
 	"mklite/internal/stats"
 )
@@ -45,6 +46,11 @@ func main() {
 		perjob   = flag.Bool("perjob", false, "include every job's outcome in the result")
 		compare  = flag.Bool("compare", false, "run every policy on the same stream and print a comparison table")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON (byte-stable)")
+
+		obsTimeline  = flag.String("obs-timeline", "", "write the facility occupancy timeline (Chrome trace JSON) to this file")
+		obsDecisions = flag.String("obs-decisions", "", "write the backfill decision log to this file")
+		obsJobCtrs   = flag.Bool("obs-job-counters", false, "namespace per-job counters as job/<id>/... in the result")
+		obsSLO       = flag.String("obs-slo", "", "SLO spec evaluated into the result (exit 1 on failure), e.g. 'wait_p99_sec<=2;utilization_pct>=60'")
 	)
 	flag.Parse()
 
@@ -66,6 +72,29 @@ func main() {
 			fatal(err)
 		}
 		cfg.Interference = plan
+	}
+
+	obsOn := *obsTimeline != "" || *obsDecisions != "" || *obsJobCtrs || *obsSLO != ""
+	if obsOn && *compare {
+		fatal(fmt.Errorf("-obs-* flags apply to a single run; drop -compare or use mkobs run per policy"))
+	}
+	var obsOpts *obs.Options
+	if obsOn {
+		obsOpts = &obs.Options{JobCounters: *obsJobCtrs}
+		if *obsTimeline != "" {
+			obsOpts.Timeline = obs.NewTimeline(cfg.Nodes, max(cfg.Share, 1), 0)
+		}
+		if *obsDecisions != "" {
+			obsOpts.Decisions = obs.NewDecisionLog()
+		}
+		cfg.Observe = obsOpts
+		if *obsSLO != "" {
+			slo, err := obs.ParseSLO(*obsSLO)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.SLO = slo
+		}
 	}
 
 	if *compare {
@@ -106,8 +135,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *obsTimeline != "" {
+		if err := os.WriteFile(*obsTimeline, obsOpts.Timeline.JSON(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *obsDecisions != "" {
+		out, err := obsOpts.Decisions.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*obsDecisions, out, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	sloExit := func() {
+		if res.SLO != nil && !res.SLO.Passed {
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		emitJSON(res)
+		sloExit()
 		return
 	}
 
@@ -141,6 +190,17 @@ func main() {
 				o.ID, o.App, o.Kernel, o.Nodes, o.WaitSec, o.ElapsedSec)
 		}
 	}
+	if res.SLO != nil {
+		fmt.Println("  slo:")
+		for _, r := range res.SLO.Results {
+			verdict := "pass"
+			if !r.Pass {
+				verdict = "FAIL"
+			}
+			fmt.Printf("    %-4s %s%s%g (observed %g)\n", verdict, r.Metric, r.Op, r.Threshold, r.Value)
+		}
+	}
+	sloExit()
 }
 
 func emitJSON(v any) {

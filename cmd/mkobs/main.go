@@ -1,0 +1,307 @@
+// Command mkobs is the facility observability CLI (see
+// docs/OBSERVABILITY.md): it runs an observed fleet simulation and exports
+// the cross-layer artifacts — the node-occupancy timeline (Chrome
+// trace-event JSON, loadable in Perfetto), the backfill decision log, and
+// the job-namespaced counter view — and it judges artifacts after the fact:
+// SLO evaluation with a pass/fail exit status, timeline validation, and
+// decision-log diffing.
+//
+// Usage:
+//
+//	mkobs run -nodes 64 -jobs 120 -timeline tl.json -decisions dl.json -json
+//	mkobs run -job-counters -job-events -timeline tl.json
+//	mkobs check -slo 'wait_p99_sec<=2;utilization_pct>=60;degraded_jobs<=0' result.json
+//	mkobs check -slo 'utilization_pct>=60' -nodes 64 -jobs 120   # run, then check
+//	mkobs validate tl.json
+//	mkobs diff dl-a.json dl-b.json
+//
+// Everything is a pure function of the flags: same flags, same artifact
+// bytes, at any -workers width. check and diff exit 1 on failure/difference,
+// so they slot straight into CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mklite/internal/fleet"
+	"mklite/internal/obs"
+	"mklite/internal/sim"
+	"mklite/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		run(os.Args[2:])
+	case "check":
+		check(os.Args[2:])
+	case "validate":
+		validate(os.Args[2:])
+	case "diff":
+		diff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mkobs: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  mkobs run [fleet flags] [-timeline file] [-decisions file] [-job-counters] [-job-events] [-slo spec] [-json]
+  mkobs check -slo spec [fleet flags | result.json]
+  mkobs validate timeline.json
+  mkobs diff decisions-a.json decisions-b.json
+`)
+	os.Exit(2)
+}
+
+// fleetFlags registers the fleet-shaping subset of mkfleet's flags on fs and
+// returns a builder that assembles the Config after parsing.
+func fleetFlags(fs *flag.FlagSet) func() fleet.Config {
+	var (
+		nodes    = fs.Int("nodes", 256, "facility size in nodes")
+		jobs     = fs.Int("jobs", 1000, "number of jobs in the stream")
+		seed     = fs.Uint64("seed", 1, "facility seed")
+		workers  = fs.Int("workers", 0, "par fan-out width (0 = GOMAXPROCS); output is identical at any width")
+		policy   = fs.String("policy", "heuristic", "kernel-selection policy")
+		backfill = fs.Bool("backfill", true, "conservative backfill (false = strict FIFO)")
+		depth    = fs.Int("backfill-depth", 0, "max queued jobs examined per backfill pass (0 = default)")
+		share    = fs.Int("share", 1, "node oversubscription factor")
+		arrival  = fs.Duration("arrival-mean", 0, "mean job interarrival gap (virtual time; 0 = default)")
+		counters = fs.Bool("counters", false, "merge per-job mechanism counters into the result")
+	)
+	return func() fleet.Config {
+		cfg := fleet.Config{
+			Nodes:         *nodes,
+			Jobs:          *jobs,
+			Seed:          *seed,
+			Workers:       *workers,
+			Backfill:      *backfill,
+			BackfillDepth: *depth,
+			Share:         *share,
+			ArrivalMean:   sim.Duration(*arrival),
+			Counters:      *counters,
+		}
+		pol, err := fleet.ParsePolicy(*policy, cfg.Seed, cfg.Workers, nil)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Policy = pol
+		return cfg
+	}
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	buildCfg := fleetFlags(fs)
+	var (
+		tlPath      = fs.String("timeline", "", "write the facility timeline (Chrome trace JSON) to this file ('-' = stdout)")
+		dlPath      = fs.String("decisions", "", "write the backfill decision log to this file ('-' = stdout)")
+		jobCounters = fs.Bool("job-counters", false, "namespace per-job counters as job/<id>/... in the result")
+		jobEvents   = fs.Bool("job-events", false, "merge each job's cluster/kernel events onto its own timeline track (needs -timeline)")
+		sloSpec     = fs.String("slo", "", "SLO spec evaluated into the result, e.g. 'wait_p99_sec<=2;utilization_pct>=60'")
+		jsonOut     = fs.Bool("json", false, "emit the fleet result as JSON (byte-stable)")
+	)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *jobEvents && *tlPath == "" {
+		fatal(fmt.Errorf("-job-events needs -timeline to merge into"))
+	}
+	cfg := buildCfg()
+
+	o := &obs.Options{JobCounters: *jobCounters, JobEvents: *jobEvents}
+	if *tlPath != "" {
+		o.Timeline = obs.NewTimeline(cfg.Nodes, max(cfg.Share, 1), 0)
+	}
+	if *dlPath != "" {
+		o.Decisions = obs.NewDecisionLog()
+	}
+	cfg.Observe = o
+	if *sloSpec != "" {
+		slo, err := obs.ParseSLO(*sloSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SLO = slo
+	}
+
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *tlPath != "" {
+		writeArtifact(*tlPath, o.Timeline.JSON())
+	}
+	if *dlPath != "" {
+		out, err := o.Decisions.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		writeArtifact(*dlPath, out)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("facility: %d nodes (share %d), %d jobs, policy %s\n",
+		res.FacilityNodes, res.Share, res.Jobs, res.Policy)
+	fmt.Printf("  throughput %.1f jobs/h, utilization %.1f%%, wait p99 %.3fs\n",
+		res.JobsPerHour, res.UtilizationPct, res.WaitP99Sec)
+	if *tlPath != "" {
+		fmt.Printf("  timeline:  %s (%d events)\n", *tlPath, o.Timeline.Events().Len())
+	}
+	if *dlPath != "" {
+		fmt.Printf("  decisions: %s (%d records)\n", *dlPath, o.Decisions.Len())
+	}
+	if res.SLO != nil {
+		printSLO(res.SLO)
+		if !res.SLO.Passed {
+			os.Exit(1)
+		}
+	}
+}
+
+func check(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	buildCfg := fleetFlags(fs)
+	sloSpec := fs.String("slo", "", "SLO spec to enforce (required)")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *sloSpec == "" {
+		fatal(fmt.Errorf("check needs -slo"))
+	}
+	slo, err := obs.ParseSLO(*sloSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *fleet.Result
+	switch fs.NArg() {
+	case 0:
+		// No artifact: run the configured fleet and judge it.
+		res, err = fleet.Run(buildCfg())
+		if err != nil {
+			fatal(err)
+		}
+	case 1:
+		// Judge a saved mkfleet/mkobs result after the fact, using the same
+		// metric map the in-run watchdog sees (Result.SLOValues).
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		res = &fleet.Result{}
+		if err := json.Unmarshal(data, res); err != nil {
+			fatal(fmt.Errorf("%s: %w", fs.Arg(0), err))
+		}
+	default:
+		fatal(fmt.Errorf("check takes at most one result file, got %d args", fs.NArg()))
+	}
+
+	// Evaluate the requested spec regardless of any report stored in the
+	// artifact — check judges with ITS rules, via the same metric map the
+	// in-run watchdog uses.
+	rep, err := slo.Eval(res.SLOValues())
+	if err != nil {
+		fatal(err)
+	}
+	printSLO(rep)
+	if !rep.Passed {
+		os.Exit(1)
+	}
+}
+
+func printSLO(rep *obs.SLOReport) {
+	fmt.Println("  slo:")
+	for _, r := range rep.Results {
+		verdict := "pass"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("    %-4s %s%s%g (observed %g)\n", verdict, r.Metric, r.Op, r.Threshold, r.Value)
+	}
+	if rep.Passed {
+		fmt.Println("  slo: PASS")
+	} else {
+		fmt.Println("  slo: FAIL")
+	}
+}
+
+func validate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("validate needs exactly one timeline file, got %d args", fs.NArg()))
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Validate(data); err != nil {
+		fatal(fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+	fmt.Printf("%s: valid %s timeline\n", fs.Arg(0), trace.EventsSchema)
+}
+
+func diff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("diff needs two decision logs, got %d args", fs.NArg()))
+	}
+	logs := make([][]obs.Decision, 2)
+	for i := range 2 {
+		data, err := os.ReadFile(fs.Arg(i))
+		if err != nil {
+			fatal(err)
+		}
+		logs[i], err = obs.ReadDecisions(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", fs.Arg(i), err))
+		}
+	}
+	rows := obs.DiffDecisions(logs[0], logs[1])
+	if len(rows) == 0 {
+		fmt.Printf("identical: %d decisions\n", len(logs[0]))
+		return
+	}
+	for _, row := range rows {
+		fmt.Println(row)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkobs:", err)
+	os.Exit(1)
+}
+
+func writeArtifact(path string, data []byte) {
+	if path == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+}

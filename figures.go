@@ -37,11 +37,17 @@ type ExperimentConfig struct {
 	// "Precedence"). A nil or empty plan leaves all output byte-identical
 	// to a faultless run.
 	Faults *fault.Plan
+	// SLO is an optional service-level objective spec (the internal/obs
+	// grammar, e.g. "utilization_pct>=50;wait_p99_sec<=7200") evaluated
+	// against every facility-comparison leg; see DefaultFacilitySLO. The
+	// empty spec leaves all output byte-identical.
+	SLO string
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
 	return experiments.Config{Reps: c.Reps, Seed: c.Seed, Quick: c.Quick,
-		Workers: c.Workers, Counters: c.Counters, Metrics: c.Metrics, Faults: c.Faults}
+		Workers: c.Workers, Counters: c.Counters, Metrics: c.Metrics,
+		Faults: c.Faults, SLO: c.SLO}
 }
 
 // Point is one measurement of a scaling series.
@@ -397,7 +403,14 @@ type FacilityPolicyResult struct {
 	Backfilled     int
 	Interfered     int
 	KernelJobs     map[string]int
+	// SLOPassed is this leg's watchdog verdict when ExperimentConfig.SLO
+	// was set, nil otherwise.
+	SLOPassed *bool
 }
+
+// DefaultFacilitySLO is the stock facility service-level objective spec for
+// ExperimentConfig.SLO (see internal/experiments and docs/OBSERVABILITY.md).
+const DefaultFacilitySLO = experiments.DefaultFacilitySLO
 
 // ReproduceFacility runs the facility-scale kernel-policy comparison: the
 // same seeded 1,000-job stream (150 under Quick) scheduled onto the same
@@ -412,7 +425,7 @@ func ReproduceFacility(cfg ExperimentConfig) ([]FacilityPolicyResult, string, er
 	}
 	var out []FacilityPolicyResult
 	for _, r := range cmp.Results {
-		out = append(out, FacilityPolicyResult{
+		fr := FacilityPolicyResult{
 			Policy:         r.Policy,
 			Jobs:           r.Jobs,
 			JobsPerHour:    r.JobsPerHour,
@@ -422,7 +435,12 @@ func ReproduceFacility(cfg ExperimentConfig) ([]FacilityPolicyResult, string, er
 			Backfilled:     r.Backfilled,
 			Interfered:     r.Interfered,
 			KernelJobs:     r.KernelJobs,
-		})
+		}
+		if r.SLO != nil {
+			passed := r.SLO.Passed
+			fr.SLOPassed = &passed
+		}
+		out = append(out, fr)
 	}
 	return out, cmp.Rendered, nil
 }

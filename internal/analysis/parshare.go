@@ -41,6 +41,12 @@ var parFuncs = map[string]bool{
 //     placement — and every co-tenancy-scaled interference plan derived
 //     from it — depend on worker scheduling. Launch batches receive
 //     immutable launch specs instead.
+//   - internal/obs: Timeline and DecisionLog are one observed facility
+//     run's artifact state, fed by the scheduler's sequential commit loop.
+//     A par worker emitting into either would interleave occupancy spans
+//     and decision records in worker order, breaking the byte-identical-
+//     at-any-width contract; workers build job-local rings and counters,
+//     merged in batch order after the join.
 var sharedTypeGroups = []struct {
 	pkg   string // import-path suffix of the owning package
 	disp  string // display prefix in diagnostics
@@ -51,6 +57,7 @@ var sharedTypeGroups = []struct {
 	{"internal/metrics", "metrics", map[string]bool{"Registry": true, "Histogram": true}},
 	{"internal/fault", "fault", map[string]bool{"Injector": true}},
 	{"internal/fleet", "fleet", map[string]bool{"Scheduler": true, "Allocator": true}},
+	{"internal/obs", "obs", map[string]bool{"Timeline": true, "DecisionLog": true}},
 }
 
 // ParShare rejects par.Map closures that capture per-job state — a *sim.RNG
@@ -62,8 +69,9 @@ var ParShare = &Analyzer{
 	Name: "parshare",
 	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc), a " +
 		"*trace.Sink (or trace.Counters/trace.Events), a " +
-		"*metrics.Registry (or metrics.Histogram), a *fault.Injector or a " +
-		"*fleet.Scheduler (or fleet.Allocator) across a par.Map closure, " +
+		"*metrics.Registry (or metrics.Histogram), a *fault.Injector, a " +
+		"*fleet.Scheduler (or fleet.Allocator) or an *obs.Timeline (or " +
+		"obs.DecisionLog) across a par.Map closure, " +
 		"and forbid package-level trace sinks and metrics registries; " +
 		"per-job state is derived inside the job and merged after the join",
 	Run: runParShare,
@@ -171,6 +179,8 @@ func checkClosure(pass *Pass, lit *ast.FuncLit) {
 				hint = "fault.NewInjector(plan, sim.StreamSeed(seed, fault.StreamCluster))"
 			case isFleetType(v.Type()):
 				hint = "decide placement sequentially before the fan-out and pass immutable launch specs into the closure"
+			case isObsType(v.Type()):
+				hint = "build a job-local trace.NewEvents ring inside the closure and merge it into the timeline/log in batch order after the join"
 			}
 			pass.Reportf(id.Pos(), "par closure captures %s %q from an enclosing scope: per-job state must be derived inside the job — %s — or worker scheduling leaks into the results (determinism contract, see docs/LINTING.md)",
 				name, id.Name, hint)
@@ -238,4 +248,11 @@ func isFaultType(t types.Type) bool {
 func isFleetType(t types.Type) bool {
 	_, gi, _ := guardedNamed(t)
 	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/fleet"
+}
+
+// isObsType reports whether t is — or points to — a guarded internal/obs
+// type.
+func isObsType(t types.Type) bool {
+	_, gi, _ := guardedNamed(t)
+	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/obs"
 }

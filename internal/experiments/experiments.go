@@ -49,6 +49,13 @@ type Config struct {
 	// tables land in Figure.MetricsText. Rendered figure bytes and run
 	// digests are unchanged — metrics only observe.
 	Metrics bool
+	// SLO is an optional declarative service-level objective spec (the
+	// internal/obs ParseSLO grammar, e.g. DefaultFacilitySLO) evaluated
+	// against every facility-comparison leg; each leg's verdict lands in
+	// its fleet.Result.SLO and an extra "slo" column of the rendered
+	// table. The empty spec leaves all output byte-identical — the SLO
+	// only observes, it never alters scheduling.
+	SLO string
 	// Faults schedules deterministic fault injection (see internal/fault)
 	// for every run behind a figure that does not carry a job-level plan
 	// of its own: a non-nil cluster.Job.Faults wins outright and the two

@@ -4,8 +4,18 @@ import (
 	"fmt"
 
 	"mklite/internal/fleet"
+	"mklite/internal/obs"
 	"mklite/internal/stats"
 )
+
+// DefaultFacilitySLO is the facility experiment's stock service-level
+// objective: every policy leg must keep the facility at least half
+// utilized, drain the stream without degraded jobs, and hold the p99 queue
+// wait under two simulated hours. The thresholds are deliberately loose —
+// they describe a functioning facility, not a winning policy — so all five
+// comparison legs pass and the watchdog flags harness regressions rather
+// than policy differences.
+const DefaultFacilitySLO = "utilization_pct>=50;degraded_jobs<=0;wait_p99_sec<=7200"
 
 // FacilityPolicies are the kernel-selection policies the facility experiment
 // compares, in report order: the three fixed single-kernel facilities
@@ -60,6 +70,17 @@ func Facility(cfg Config) (*FacilityComparison, error) {
 	cfg = cfg.normalize()
 	base := FacilityConfig(cfg)
 
+	// An SLO spec turns each leg's result into a watchdog verdict and adds
+	// an "slo" column; the empty spec leaves the rendered table — and the
+	// result JSON — byte-identical to the pre-observability experiment.
+	var slo *obs.SLO
+	if cfg.SLO != "" {
+		var err error
+		if slo, err = obs.ParseSLO(cfg.SLO); err != nil {
+			return nil, fmt.Errorf("experiments: facility: %w", err)
+		}
+	}
+
 	cmp := &FacilityComparison{}
 	for _, name := range FacilityPolicies() {
 		pol, err := fleet.ParsePolicy(name, base.Seed, base.Workers, base.Interference)
@@ -68,6 +89,7 @@ func Facility(cfg Config) (*FacilityComparison, error) {
 		}
 		fc := base
 		fc.Policy = pol
+		fc.SLO = slo
 		res, err := fleet.Run(fc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: facility %s: %w", name, err)
@@ -75,11 +97,24 @@ func Facility(cfg Config) (*FacilityComparison, error) {
 		cmp.Results = append(cmp.Results, res)
 	}
 
-	tbl := stats.NewTable("policy", "jobs/h", "util %", "wait p50 s", "wait p99 s", "backfilled", "interfered", "kernels")
+	header := []string{"policy", "jobs/h", "util %", "wait p50 s", "wait p99 s", "backfilled", "interfered", "kernels"}
+	if slo != nil {
+		header = append(header, "slo")
+	}
+	tbl := stats.NewTable(header...)
 	for _, r := range cmp.Results {
-		tbl.AddRowf("%s|%.1f|%.1f|%.3f|%.3f|%d|%d|%s",
-			r.Policy, r.JobsPerHour, r.UtilizationPct, r.WaitP50Sec, r.WaitP99Sec,
-			r.Backfilled, r.Interfered, kernelMix(r))
+		format := "%s|%.1f|%.1f|%.3f|%.3f|%d|%d|%s"
+		cells := []any{r.Policy, r.JobsPerHour, r.UtilizationPct, r.WaitP50Sec,
+			r.WaitP99Sec, r.Backfilled, r.Interfered, kernelMix(r)}
+		if slo != nil {
+			verdict := "PASS"
+			if r.SLO == nil || !r.SLO.Passed {
+				verdict = "FAIL"
+			}
+			format += "|%s"
+			cells = append(cells, verdict)
+		}
+		tbl.AddRowf(format, cells...)
 	}
 	cmp.Rendered = tbl.Render()
 	return cmp, nil

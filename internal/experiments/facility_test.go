@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// facilityTestCfg is the quick facility comparison at sequential width —
+// small enough for the test budget, big enough to exercise backfill and
+// co-tenancy on every leg.
+func facilityTestCfg() Config {
+	return Config{Reps: 1, Seed: 1, Quick: true, Workers: 1}
+}
+
+// TestFacilitySLOColumn: an SLO spec adds a verdict per policy leg — in each
+// Result and as an extra rendered column — while the empty spec leaves both
+// untouched.
+func TestFacilitySLOColumn(t *testing.T) {
+	cfg := facilityTestCfg()
+	plain, err := Facility(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.Rendered, "slo") {
+		t.Fatalf("no-SLO table grew a verdict column:\n%s", plain.Rendered)
+	}
+	for _, r := range plain.Results {
+		if r.SLO != nil {
+			t.Fatalf("policy %s carries an SLO report without a spec", r.Policy)
+		}
+	}
+
+	cfg.SLO = DefaultFacilitySLO
+	checked, err := Facility(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(checked.Rendered, "slo") || !strings.Contains(checked.Rendered, "PASS") {
+		t.Fatalf("SLO table missing the verdict column:\n%s", checked.Rendered)
+	}
+	if strings.Contains(checked.Rendered, "FAIL") {
+		t.Fatalf("stock SLO must pass every policy leg:\n%s", checked.Rendered)
+	}
+	for i, r := range checked.Results {
+		if r.SLO == nil || !r.SLO.Passed {
+			t.Fatalf("policy %s: SLO report %+v, want passing", r.Policy, r.SLO)
+		}
+		// The watchdog only observes: every scheduling outcome is
+		// byte-for-byte the no-SLO leg's.
+		p := plain.Results[i]
+		if r.Policy != p.Policy || r.JobsPerHour != p.JobsPerHour ||
+			r.Backfilled != p.Backfilled || r.WaitP99Sec != p.WaitP99Sec {
+			t.Fatalf("SLO evaluation perturbed the %s leg", r.Policy)
+		}
+	}
+}
+
+// TestFacilitySLOErrors: a malformed spec and a rule naming an unpublished
+// metric both fail the experiment loudly, not silently.
+func TestFacilitySLOErrors(t *testing.T) {
+	cfg := facilityTestCfg()
+	cfg.SLO = "utilization_pct=50"
+	if _, err := Facility(cfg); err == nil {
+		t.Fatal("malformed SLO spec accepted")
+	}
+	cfg.SLO = "no_such_metric<=1"
+	if _, err := Facility(cfg); err == nil {
+		t.Fatal("unknown SLO metric accepted")
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"mklite/internal/fault"
 	"mklite/internal/kernel"
+	"mklite/internal/obs"
 	"mklite/internal/sim"
 )
 
@@ -111,6 +112,16 @@ type Config struct {
 	Counters bool
 	// PerJob records every job's outcome into Result.PerJob.
 	PerJob bool
+	// Observe attaches the facility observability backends (internal/obs):
+	// the node-occupancy timeline, the backfill decision log, the namespaced
+	// per-job counter view, and per-job event tracks. Nil disables
+	// everything; a run with Observe nil is byte-identical to one made
+	// before the field existed.
+	Observe *obs.Options
+	// SLO is the declarative watchdog evaluated on the finished run's
+	// summary metrics (see Result.SLOValues for the metric names); the
+	// report lands in Result.SLO. Nil skips evaluation.
+	SLO *obs.SLO
 }
 
 // Defaults for the zero-valued Config knobs.
@@ -174,6 +185,13 @@ func (c Config) validate() error {
 	}
 	if c.Interference != nil && c.Interference.NodeFail != nil {
 		return fmt.Errorf("fleet: interference plan must not inject node failures (job retries belong to per-job plans)")
+	}
+	if c.Observe.TimelineOn() {
+		tl := c.Observe.Timeline
+		if tl.Nodes() != c.Nodes || tl.Share() != c.Share {
+			return fmt.Errorf("fleet: timeline built for %d nodes x %d slots, facility is %d x %d",
+				tl.Nodes(), tl.Share(), c.Nodes, c.Share)
+		}
 	}
 	return nil
 }
@@ -290,13 +308,50 @@ type Result struct {
 	// KernelJobs counts launched jobs per selected kernel.
 	KernelJobs map[string]int `json:"kernel_jobs"`
 
+	// DegradedJobs counts jobs whose cluster run completed degraded (on a
+	// reduced node set). Fleet interference plans cannot inject node
+	// failures, so this stays zero — and omitted — unless a custom policy
+	// layer introduces them; the SLO watchdog still exposes it as the
+	// degraded_jobs metric.
+	DegradedJobs int `json:"degraded_jobs,omitempty"`
+
 	// Counters is the job-order merge of every job's cluster-level
 	// mechanism counters plus the fleet.* scheduler counters
 	// (Config.Counters).
 	Counters map[string]int64 `json:"counters,omitempty"`
 
+	// JobCounters is the provenance-preserving per-job counter view,
+	// namespaced job/<id>/<name> (Config.Observe.JobCounters). The flat
+	// Counters merge is unchanged; this view is additional, so the sum of
+	// job/<id>/x over all ids equals the per-job contribution to x.
+	JobCounters map[string]int64 `json:"job_counters,omitempty"`
+
+	// SLO is the watchdog report for Config.SLO, rule results in rule
+	// order (nil when no SLO was configured).
+	SLO *obs.SLOReport `json:"slo,omitempty"`
+
 	// PerJob is the per-job record in job-ID order (Config.PerJob).
 	PerJob []JobOutcome `json:"per_job,omitempty"`
+}
+
+// SLOValues publishes the run's summary metrics for obs.SLO evaluation.
+// Every key here is a valid SLO rule metric; mkobs check evaluates specs
+// against a loaded Result with the same map, so the CLI and the in-run
+// watchdog can never disagree.
+func (r *Result) SLOValues() map[string]float64 {
+	return map[string]float64{
+		"jobs":            float64(r.Jobs),
+		"backfilled_jobs": float64(r.Backfilled),
+		"interfered_jobs": float64(r.Interfered),
+		"degraded_jobs":   float64(r.DegradedJobs),
+		"makespan_sec":    r.MakespanSec,
+		"jobs_per_hour":   r.JobsPerHour,
+		"utilization_pct": r.UtilizationPct,
+		"wait_p50_sec":    r.WaitP50Sec,
+		"wait_p99_sec":    r.WaitP99Sec,
+		"wait_max_sec":    r.WaitMaxSec,
+		"wait_mean_sec":   r.WaitMeanSec,
+	}
 }
 
 // Run executes one facility run: generate the stream, schedule it to

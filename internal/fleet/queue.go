@@ -5,6 +5,7 @@ import (
 
 	"mklite/internal/fault"
 	"mklite/internal/kernel"
+	"mklite/internal/obs"
 	"mklite/internal/sim"
 )
 
@@ -19,6 +20,11 @@ type launch struct {
 	cotenancy  int
 	plan       *fault.Plan
 	backfilled bool
+	// evidence is the reservation snapshot that admitted a backfill launch,
+	// recorded for the decision log (nil unless Observe.Decisions is on and
+	// backfilled is set). Carried here so the commit loop can attach it —
+	// the worker closures never read it.
+	evidence *obs.BackfillEvidence
 }
 
 // profile is the slot-availability timeline the backfill pass plans against:
@@ -153,6 +159,14 @@ func (s *Scheduler) schedulePass() []*launch {
 	snap := s.snapshot()
 	prof := snap.profile()
 
+	// When the decision log is on, mirror the reservation plan the pass
+	// builds (head first, then each examined non-starting candidate) so a
+	// backfill launch can carry the exact evidence that admitted it. Pure
+	// bookkeeping — the plan itself is unchanged.
+	recording := s.dlog != nil
+	reservations := s.resScratch[:0]
+	headJob := -1
+
 	remaining := s.queue[:0:0]
 	headBlocked := false
 	headStart := sim.Never
@@ -173,19 +187,37 @@ func (s *Scheduler) schedulePass() []*launch {
 			prof.take(headStart, j.WallLimit, j.Nodes)
 			remaining = append(remaining, j)
 			examined++
+			if recording {
+				headJob = j.ID
+				reservations = append(reservations, obs.Reservation{
+					Job: j.ID, StartNs: int64(headStart), WallNs: int64(j.WallLimit), Slots: j.Nodes})
+			}
 			continue
 		}
 		examined++
 		if s.alloc.Fits(j.Nodes) && prof.fitsAt(s.clock, j.WallLimit, j.Nodes) {
-			out = append(out, s.newLaunch(j, true))
+			l := s.newLaunch(j, true)
+			if recording {
+				l.evidence = &obs.BackfillEvidence{
+					HeadJob:      headJob,
+					HeadStartNs:  int64(headStart),
+					Reservations: append([]obs.Reservation(nil), reservations...),
+				}
+			}
+			out = append(out, l)
 			prof.take(s.clock, j.WallLimit, j.Nodes)
 			continue
 		}
 		t := prof.earliest(j.WallLimit, j.Nodes)
 		prof.take(t, j.WallLimit, j.Nodes)
 		remaining = append(remaining, j)
+		if recording {
+			reservations = append(reservations, obs.Reservation{
+				Job: j.ID, StartNs: int64(t), WallNs: int64(j.WallLimit), Slots: j.Nodes})
+		}
 	}
 	s.queue = remaining
+	s.resScratch = reservations
 
 	if headBlocked {
 		s.checkHeadInvariant(snap, out, headStart)

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"maps"
 	"slices"
+	"strconv"
 
 	"mklite/internal/cluster"
 	"mklite/internal/metrics"
+	"mklite/internal/obs"
 	"mklite/internal/par"
 	"mklite/internal/sim"
 	"mklite/internal/trace"
@@ -36,8 +38,26 @@ type Scheduler struct {
 	reg      *metrics.Registry
 	counters *trace.Counters // fleet.* + merged per-job counters (cfg.Counters)
 
+	// Observability backends (cfg.Observe) — passive, per-run, nil = off.
+	// Like reg and counters they are scheduler-side state: the commit loop
+	// feeds them after the par join, never the worker closures. The
+	// job-counter view retains each job's own counter set and namespaces it
+	// at result time — building the job/<id>/<name> map inline would put
+	// ~10k map inserts' worth of allocation between launches, polluting the
+	// simulator's caches (the same reason obs.Timeline defers its event
+	// expansion).
+	tl       *obs.Timeline
+	dlog     *obs.DecisionLog
+	jobSnaps []jobCounterSnap // per-job counters (Observe.JobCounters)
+	// resScratch is the reservation-mirror buffer schedulePass fills when
+	// the decision log is on — reused across passes (each backfill launch
+	// copies its own evidence snapshot) so the mirror does not reallocate
+	// on every clock event.
+	resScratch []obs.Reservation
+
 	backfilled int
 	interfered int
+	degraded   int
 	kernelJobs map[string]int
 	outcomes   []JobOutcome
 	launched   int
@@ -50,6 +70,13 @@ type runningJob struct {
 	nodes []int
 	start sim.Time
 	end   sim.Time
+}
+
+// jobCounterSnap retains one job's own counter set (built inside the worker
+// closure) until result time, when the job/<id>/<name> view is assembled.
+type jobCounterSnap struct {
+	id int
+	c  *trace.Counters
 }
 
 // newScheduler builds the per-run state for cfg (already normalized).
@@ -65,6 +92,10 @@ func newScheduler(cfg Config) *Scheduler {
 	}
 	if cfg.PerJob {
 		s.outcomes = make([]JobOutcome, cfg.Jobs)
+	}
+	if o := cfg.Observe; o.Enabled() {
+		s.tl = o.Timeline
+		s.dlog = o.Decisions
 	}
 	return s
 }
@@ -109,6 +140,10 @@ func (s *Scheduler) run(stream []*Job) (*Result, error) {
 				return nil, err
 			}
 		}
+		// One facility-lane sample per clock event, after the pass's
+		// launches commit: the queue depth and node occupancy the event
+		// left behind.
+		s.tl.Sample(int64(t), len(s.queue), s.alloc.Occupied())
 	}
 	return s.result()
 }
@@ -130,6 +165,7 @@ func (s *Scheduler) completeAt(t sim.Time) {
 	slices.SortFunc(done, func(a, b *runningJob) int { return a.job.ID - b.job.ID })
 	for _, r := range done {
 		s.alloc.Free(r.nodes)
+		s.tl.JobEnd(int64(t), r.job.ID)
 		if s.counters != nil {
 			s.counters.Add("fleet.jobs_completed", 1)
 		}
@@ -137,40 +173,49 @@ func (s *Scheduler) completeAt(t sim.Time) {
 }
 
 // runOut is one worker's return: the cluster result plus the job's own
-// counters (created inside the closure, merged in batch order after the
-// join).
+// counters and event ring (created inside the closure, merged in batch
+// order after the join).
 type runOut struct {
 	res      cluster.Result
 	counters *trace.Counters
+	events   *trace.Events
 }
 
 // launch executes one same-instant batch through internal/par and commits
 // the results to the facility state. The worker closure captures only the
-// batch slice and plain locals — never the Scheduler — and each job's
-// outcome depends only on its launch spec and its own seed, so the batch is
-// byte-identical at any fan-out width.
+// batch slice and plain locals — never the Scheduler, nor the obs backends
+// (each job builds its own counters and event ring; the commit loop merges
+// them in batch order) — and each job's outcome depends only on its launch
+// spec and its own seed, so the batch is byte-identical at any fan-out
+// width.
 func (s *Scheduler) launch(batch []*launch) error {
 	workers := s.cfg.Workers
-	counting := s.cfg.Counters
+	counting := s.cfg.Counters || s.cfg.Observe.JobCountersOn()
+	eventing := s.cfg.Observe.JobEventsOn()
+	ringCap := s.cfg.Observe.JobEventRingCap()
 	outs, err := par.MapWidthErr(workers, len(batch), func(i int) (runOut, error) {
 		l := batch[i]
 		var c *trace.Counters
 		if counting {
 			c = trace.NewCounters()
 		}
+		var ev *trace.Events
+		if eventing {
+			ev = trace.NewEvents(ringCap)
+		}
 		res, err := cluster.Run(cluster.Job{
 			App:    l.job.App,
 			Kernel: l.kernel,
 			Nodes:  l.job.Nodes,
 			Seed:   l.job.Seed,
-			Sink:   trace.NewSink(c, nil),
+			Sink:   trace.NewSink(c, ev),
 			Faults: l.plan,
 		})
 		if err != nil {
 			return runOut{}, fmt.Errorf("fleet: job %d (%s on %s): %w",
 				l.job.ID, l.job.App.Name, kernelName(l.kernel), err)
 		}
-		return runOut{res: res, counters: c}, nil
+		return runOut{res: res, counters: c, events: ev}, nil
 	})
 	if err != nil {
 		return err
@@ -195,6 +240,10 @@ func (s *Scheduler) launch(batch []*launch) error {
 		if l.plan != nil {
 			s.interfered++
 		}
+		if out.res.Degraded {
+			s.degraded++
+		}
+		s.observeLaunch(l, out)
 		if s.counters != nil {
 			s.counters.Add("fleet.jobs_launched", 1)
 			if l.backfilled {
@@ -229,6 +278,42 @@ func (s *Scheduler) launch(batch []*launch) error {
 	return nil
 }
 
+// observeLaunch commits one launched job to the obs backends: the occupancy
+// span on every allocated node, the job's own event track, the namespaced
+// counter view, and the decision record. Runs in the sequential batch-order
+// commit loop, so every artifact is a pure function of the schedule.
+func (s *Scheduler) observeLaunch(l *launch, out runOut) {
+	if s.tl != nil {
+		name := fmt.Sprintf("job %d %s/%s", l.job.ID, l.job.App.Name, kernelName(l.kernel))
+		s.tl.JobStart(int64(s.clock), l.job.ID, name, l.nodes, map[string]int64{
+			"nodes":     int64(l.job.Nodes),
+			"timesteps": int64(l.job.Timesteps),
+			"cotenancy": int64(l.cotenancy),
+		})
+		if out.events != nil {
+			s.tl.AddJobEvents(l.job.ID, int64(s.clock), out.events.Snapshot(), out.events.Dropped())
+		}
+	}
+	if s.cfg.Observe.JobCountersOn() && out.counters != nil {
+		s.jobSnaps = append(s.jobSnaps, jobCounterSnap{id: l.job.ID, c: out.counters})
+	}
+	if s.dlog != nil {
+		d := obs.Decision{
+			Job:       l.job.ID,
+			TimeNs:    int64(s.clock),
+			Kind:      obs.KindFIFO,
+			Kernel:    kernelName(l.kernel),
+			Nodes:     append([]int(nil), l.nodes...),
+			Cotenancy: l.cotenancy,
+		}
+		if l.backfilled {
+			d.Kind = obs.KindBackfill
+			d.Backfill = l.evidence
+		}
+		s.dlog.Record(d)
+	}
+}
+
 // result assembles the facility metrics once the stream has drained.
 func (s *Scheduler) result() (*Result, error) {
 	r := &Result{
@@ -260,6 +345,28 @@ func (s *Scheduler) result() (*Result, error) {
 
 	if s.counters != nil {
 		r.Counters = s.counters.Map()
+	}
+	r.DegradedJobs = s.degraded
+	if len(s.jobSnaps) > 0 {
+		total := 0
+		for _, sn := range s.jobSnaps {
+			total += sn.c.Len()
+		}
+		jc := make(map[string]int64, total)
+		for _, sn := range s.jobSnaps {
+			prefix := "job/" + strconv.Itoa(sn.id) + "/"
+			sn.c.Each(func(name string, v int64) {
+				jc[prefix+name] = v
+			})
+		}
+		r.JobCounters = jc
+	}
+	if s.cfg.SLO != nil {
+		rep, err := s.cfg.SLO.Eval(r.SLOValues())
+		if err != nil {
+			return nil, err
+		}
+		r.SLO = rep
 	}
 	return r, nil
 }

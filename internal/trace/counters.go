@@ -109,6 +109,22 @@ func (c *Counters) Names() []string {
 	return names
 }
 
+// Each calls fn for every counter without building an intermediate map:
+// the dense tier in interning order, then the dynamic tier sorted by name.
+// The order is deterministic, so Each is safe to fold into keyed artifacts
+// (the fleet scheduler's job/<id>/<name> counter view builds this way —
+// per-job Map copies were measurable at facility scale).
+func (c *Counters) Each(fn func(name string, v int64)) {
+	for k, t := range c.touched {
+		if t {
+			fn(keyNames[k], c.keys[k])
+		}
+	}
+	for _, k := range slices.Sorted(maps.Keys(c.m)) {
+		fn(k, c.m[k])
+	}
+}
+
 // Map returns a copy of the counters (dense and dynamic tiers united).
 func (c *Counters) Map() map[string]int64 {
 	if c.Len() == 0 {

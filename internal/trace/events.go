@@ -66,14 +66,44 @@ func (e *Events) Emit(ev Event) {
 // Len returns the number of retained events.
 func (e *Events) Len() int { return len(e.buf) }
 
+// Cap returns the ring's capacity.
+func (e *Events) Cap() int { return e.cap }
+
 // Dropped returns the number of evicted events.
 func (e *Events) Dropped() int64 { return e.dropped }
+
+// NoteDropped folds n externally-dropped events into the ring's eviction
+// count. The facility timeline uses this when merging a job-local ring that
+// itself evicted: the merged document must report the loss so Validate knows
+// orphaned B/E pairs are eviction damage, not corruption.
+func (e *Events) NoteDropped(n int64) {
+	if n > 0 {
+		e.dropped += n
+	}
+}
 
 // Snapshot returns the retained events in emission order.
 func (e *Events) Snapshot() []Event {
 	out := make([]Event, 0, len(e.buf))
 	out = append(out, e.buf[e.start:]...)
 	out = append(out, e.buf[:e.start]...)
+	return out
+}
+
+// Rescoped returns a copy of evs re-homed onto another track: every event's
+// Pid becomes pid and every timestamp shifts by dt. This is the job-scoping
+// primitive of internal/obs: a job's run-local events (pid 0, virtual time
+// starting at the job's own zero) become a facility-timeline track keyed by
+// the job's pid and the facility clock. Tids are preserved — they are lanes
+// within the job (phase spans vs collective instants), and per-lane timestamp
+// monotonicity survives a uniform shift.
+func Rescoped(evs []Event, pid int32, dt int64) []Event {
+	out := make([]Event, len(evs))
+	for i, ev := range evs {
+		ev.Pid = pid
+		ev.TS += dt
+		out[i] = ev
+	}
 	return out
 }
 
