@@ -1,0 +1,136 @@
+package mklite
+
+// PR 10 scheduler gate: the pluggable scheduling seam is judged by
+// BENCH_PR10.json (same "mklite-bench/v1" schema, compared by cmd/mkbench
+// in CI with -budget sched_sep_shortfall_percent=0). One mode runs on
+// every PR:
+//
+//   - "schedsweep-quick": the quick scheduler sweep (three node counts per
+//     app including the full-scale 2,048 point, 2 reps, width 1) — the
+//     wall-clock cost of the seam's headline experiment;
+//
+// and one is opt-in because it sweeps every node count:
+//
+//   - "schedsweep-full": the full sweep, only when MKLITE_BENCH_FULL=1.
+//
+// The derived metrics turn the acceptance criterion into a budget: the
+// sweep must separate scheduling policies at full scale, not merely parse
+// them. sched_sep_pp is the spread (percentage points of noise gap) between
+// the best and worst policy medians on Linux at the top node count of the
+// MiniFE figure; sched_sep_shortfall_percent = max(0, 2 − sched_sep_pp)
+// clamps that into a "distance below the 2pp floor" that CI budgets at 0 —
+// any regression collapsing the policies below 2pp fails the gate, while
+// the actual spread (tens of points) leaves generous headroom.
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mklite/internal/benchfmt"
+	"mklite/internal/experiments"
+	"mklite/internal/kernel"
+	"mklite/internal/stats"
+)
+
+var benchPR10 struct {
+	mu   sync.Mutex
+	file *benchfmt.File
+}
+
+// recordBenchPR10 rewrites BENCH_PR10.json after every update, so the
+// artifact is valid however many benchmarks the -bench filter selects.
+func recordBenchPR10(b *testing.B, apply func(f *benchfmt.File)) {
+	b.Helper()
+	benchPR10.mu.Lock()
+	defer benchPR10.mu.Unlock()
+	if benchPR10.file == nil {
+		benchPR10.file = benchfmt.New("schedsweep-quick", runtime.GOMAXPROCS(0))
+	}
+	apply(benchPR10.file)
+	out, err := benchPR10.file.Marshal()
+	if err != nil {
+		b.Fatalf("marshal BENCH_PR10: %v", err)
+	}
+	if err := os.WriteFile("BENCH_PR10.json", out, 0o644); err != nil {
+		b.Fatalf("write BENCH_PR10.json: %v", err)
+	}
+}
+
+// schedSweepFigs runs one sweep at width 1 (the conservative wall clock)
+// and returns its figures for the separation metrics.
+func schedSweepFigs(b *testing.B, quick bool) []*stats.Figure {
+	b.Helper()
+	figs, err := experiments.SchedSweep(experiments.Config{Reps: 2, Seed: 1, Quick: quick, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(figs) == 0 {
+		b.Fatal("schedsweep produced no figures")
+	}
+	return figs
+}
+
+// schedSeparationPP extracts the Linux policy spread at the top node count
+// of the MiniFE figure — the acceptance criterion's number.
+func schedSeparationPP(b *testing.B, figs []*stats.Figure) float64 {
+	b.Helper()
+	for _, f := range figs {
+		if f.ID != "schedsweep-minife" {
+			continue
+		}
+		top := 0
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				if p.Nodes > top {
+					top = p.Nodes
+				}
+			}
+		}
+		sep, ok := experiments.SchedSeparation(f, kernel.TypeLinux, top)
+		if !ok {
+			b.Fatalf("no Linux series at %d nodes", top)
+		}
+		return sep
+	}
+	b.Fatal("no schedsweep-minife figure")
+	return 0
+}
+
+// benchSchedSweep times one sweep mode best-of-N and folds the mode plus
+// the separation-derived metrics into BENCH_PR10.json.
+func benchSchedSweep(b *testing.B, mode string, quick bool) {
+	b.Helper()
+	var figs []*stats.Figure
+	best, spread := benchBestOf(b, func() { figs = schedSweepFigs(b, quick) })
+	sep := schedSeparationPP(b, figs)
+	shortfall := max(0, 2-sep)
+	b.ReportMetric(best, "wall-s/op")
+	b.ReportMetric(spread, "spread-%")
+	b.ReportMetric(sep, "sep-pp")
+	recordBenchPR10(b, func(f *benchfmt.File) {
+		f.Modes[mode] = benchfmt.Mode{Reps: benchReps, Seconds: best, SpreadPercent: spread}
+		if f.Derived == nil {
+			f.Derived = map[string]float64{}
+		}
+		f.Derived["sched_sep_pp"] = sep
+		f.Derived["sched_sep_shortfall_percent"] = shortfall
+	})
+}
+
+// BenchmarkSchedSweepQuick is the per-PR mode: quick sweep, separation
+// metrics from its own figures (quick keeps the 2,048-node point, so the
+// criterion is evaluated at full scale even here).
+func BenchmarkSchedSweepQuick(b *testing.B) {
+	benchSchedSweep(b, "schedsweep-quick", true)
+}
+
+// BenchmarkSchedSweepFull is the opt-in full grid (every node count per
+// app), behind MKLITE_BENCH_FULL=1 like the other full-scale smokes.
+func BenchmarkSchedSweepFull(b *testing.B) {
+	if os.Getenv("MKLITE_BENCH_FULL") == "" {
+		b.Skip("set MKLITE_BENCH_FULL=1 for the full-grid scheduler sweep")
+	}
+	benchSchedSweep(b, "schedsweep-full", false)
+}

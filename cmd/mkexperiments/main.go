@@ -9,35 +9,39 @@
 //
 // Artifacts: fig4, fig5a, fig5b, fig6a, fig6b, table1, ltp, brktrace,
 // proxyopts, ccsqcd-ddr, corespec, quadrant, ablations, resilience,
-// facility.
+// facility, schedsweep.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"mklite"
+	"mklite/internal/cliflags"
 )
 
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "restrict sweeps to three node counts per app")
 		reps     = flag.Int("reps", 5, "repetitions per data point")
-		seed     = flag.Uint64("seed", 1, "base seed")
+		seed     = cliflags.Seed(flag.CommandLine)
 		only     = flag.String("only", "", "comma-separated artifact subset")
-		workers  = flag.Int("workers", 0, "parallel fan-out width over independent runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any width")
-		counters = flag.Bool("counters", false, "aggregate and print mechanism counters per figure")
-		metricsF = flag.Bool("metrics", false, "aggregate and print the metrics profile (phases, latency histograms) per figure")
-		faults   = flag.String("faults", "", "fault plan applied to every run, e.g. 'link:loss=0.001,timeout=50us' (see docs/FAULTS.md)")
-		sloSpec  = flag.String("slo", "", "SLO spec evaluated per facility-comparison leg, e.g. 'utilization_pct>=50;wait_p99_sec<=7200'; 'default' selects the stock facility SLO (see docs/OBSERVABILITY.md)")
+		workers  = cliflags.Workers(flag.CommandLine)
+		counters = cliflags.Counters(flag.CommandLine)
+		metricsF = cliflags.Metrics(flag.CommandLine)
+		faults   = cliflags.Faults(flag.CommandLine)
+		sloSpec  = cliflags.SLO(flag.CommandLine)
+		schedF   = cliflags.Sched(flag.CommandLine)
+		jsonOut  = flag.String("json", "", "write the schedsweep figures as byte-stable JSON to this file (schedsweep artifact only)")
 	)
 	flag.Parse()
 
-	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers, Counters: *counters, Metrics: *metricsF}
+	cfg := mklite.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers, Counters: *counters, Metrics: *metricsF, Sched: *schedF}
 	if *faults != "" {
-		plan, err := mklite.ParseFaults(*faults)
+		plan, err := cliflags.ParseFaults(*faults)
 		check(err)
 		cfg.Faults = plan
 	}
@@ -180,6 +184,22 @@ func main() {
 			fmt.Printf("%-36s %10.4g (%.1f%% of SNC-4 Linux)\n", r.Config, r.FOM, r.Percent)
 		}
 		fmt.Println()
+	}
+	if sel("schedsweep") {
+		figs, err := mklite.ReproduceSchedSweep(cfg)
+		check(err)
+		fmt.Println("==== Scheduler sweep: noise-gap % by policy x kernel x nodes ====")
+		fmt.Println("(gang aligns noise windows, tickless drops the tick sources, rr pays its quantum timer)")
+		for _, fig := range figs {
+			fmt.Print(fig.Render())
+			fmt.Println()
+		}
+		if *jsonOut != "" {
+			out, err := json.MarshalIndent(figs, "", "  ")
+			check(err)
+			check(os.WriteFile(*jsonOut, append(out, '\n'), 0o644))
+			fmt.Fprintf(os.Stderr, "mkexperiments: wrote %s (%d bytes)\n", *jsonOut, len(out)+1)
+		}
 	}
 	if sel("resilience") {
 		fig, err := mklite.ReproduceResilience(cfg)

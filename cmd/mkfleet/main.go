@@ -23,7 +23,7 @@ import (
 	"slices"
 	"strings"
 
-	"mklite/internal/fault"
+	"mklite/internal/cliflags"
 	"mklite/internal/fleet"
 	"mklite/internal/obs"
 	"mklite/internal/sim"
@@ -34,15 +34,16 @@ func main() {
 	var (
 		nodes    = flag.Int("nodes", 256, "facility size in nodes")
 		jobs     = flag.Int("jobs", 1000, "number of jobs in the stream")
-		seed     = flag.Uint64("seed", 1, "facility seed (drives every stochastic draw)")
-		workers  = flag.Int("workers", 0, "par fan-out width for same-instant launch batches (0 = GOMAXPROCS, 1 = sequential); output is identical at any width")
-		policy   = flag.String("policy", "heuristic", "kernel-selection policy: "+strings.Join(fleet.PolicyNames(), ", "))
+		seed     = cliflags.Seed(flag.CommandLine)
+		workers  = cliflags.Workers(flag.CommandLine)
+		policy   = flag.String("policy", "heuristic", "kernel-selection policy: "+strings.Join(fleet.PolicyNames(), ", ")+"; add ':<sched>' (e.g. heuristic:gang) to pin every job's scheduler")
+		schedF   = cliflags.Sched(flag.CommandLine)
 		backfill = flag.Bool("backfill", true, "conservative backfill (false = strict FIFO)")
 		depth    = flag.Int("backfill-depth", 0, "max queued jobs examined per backfill pass (0 = default)")
 		share    = flag.Int("share", 1, "node oversubscription factor (jobs per node; >1 enables co-tenancy interference)")
 		interf   = flag.String("interference", "", "co-tenancy fault-plan template, e.g. 'storm:period=2ms,burst=150us,offload-factor=2' (default: built-in template when -share > 1)")
 		arrival  = flag.Duration("arrival-mean", 0, "mean job interarrival gap (virtual time; 0 = default)")
-		counters = flag.Bool("counters", false, "merge per-job mechanism counters into the result")
+		counters = cliflags.Counters(flag.CommandLine)
 		perjob   = flag.Bool("perjob", false, "include every job's outcome in the result")
 		compare  = flag.Bool("compare", false, "run every policy on the same stream and print a comparison table")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON (byte-stable)")
@@ -67,11 +68,21 @@ func main() {
 		PerJob:        *perjob,
 	}
 	if *interf != "" {
-		plan, err := fault.ParsePlan(*interf)
+		plan, err := cliflags.ParseFaults(*interf)
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Interference = plan
+	}
+	kind, err := cliflags.ParseSched(*schedF)
+	if err != nil {
+		fatal(err)
+	}
+	withSched := func(p fleet.KernelPolicy) fleet.KernelPolicy {
+		if kind == "" {
+			return p
+		}
+		return fleet.WithSched(p, kind)
 	}
 
 	obsOn := *obsTimeline != "" || *obsDecisions != "" || *obsJobCtrs || *obsSLO != ""
@@ -105,7 +116,7 @@ func main() {
 				fatal(err)
 			}
 			c := cfg
-			c.Policy = pol
+			c.Policy = withSched(pol)
 			res, err := fleet.Run(c)
 			if err != nil {
 				fatal(err)
@@ -130,7 +141,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg.Policy = pol
+	cfg.Policy = withSched(pol)
 	res, err := fleet.Run(cfg)
 	if err != nil {
 		fatal(err)
@@ -186,8 +197,12 @@ func main() {
 				fmt.Printf("    ... %d more jobs\n", len(res.PerJob)-i)
 				break
 			}
-			fmt.Printf("    job %4d  %-10s %-9s %3d nodes  wait %8.3fs  run %7.3fs\n",
-				o.ID, o.App, o.Kernel, o.Nodes, o.WaitSec, o.ElapsedSec)
+			kern := o.Kernel
+			if o.Sched != "" {
+				kern += "/" + o.Sched
+			}
+			fmt.Printf("    job %4d  %-10s %-14s %3d nodes  wait %8.3fs  run %7.3fs\n",
+				o.ID, o.App, kern, o.Nodes, o.WaitSec, o.ElapsedSec)
 		}
 	}
 	if res.SLO != nil {

@@ -16,16 +16,17 @@ import (
 	"slices"
 
 	"mklite"
+	"mklite/internal/cliflags"
 )
 
 func main() {
 	var (
 		iters    = flag.Int("iters", 10000, "FWQ/FTQ iterations")
-		seed     = flag.Uint64("seed", 1, "seed")
+		seed     = cliflags.Seed(flag.CommandLine)
 		ftq      = flag.Bool("ftq", false, "also run the fixed-time-quanta benchmark")
 		hist     = flag.Bool("hist", false, "print the FWQ sample distribution per kernel")
-		counters = flag.Bool("counters", false, "attribute the FWQ detour to its noise sources")
-		metricsF = flag.Bool("metrics", false, "print per-kernel detour latency histograms (metrics registry path)")
+		counters = cliflags.Counters(flag.CommandLine)
+		metricsF = cliflags.Metrics(flag.CommandLine)
 	)
 	flag.Parse()
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"mklite"
+	"mklite/internal/cliflags"
 )
 
 func main() {
@@ -25,21 +26,22 @@ func main() {
 		appName   = flag.String("app", "minife", "application to run (see -list)")
 		kernelStr = flag.String("kernel", "mckernel", "kernel: linux, mckernel or mos")
 		nodes     = flag.Int("nodes", 64, "node count")
-		seed      = flag.Uint64("seed", 1, "run seed (vary for repetitions)")
+		seed      = cliflags.Seed(flag.CommandLine)
 		compare   = flag.Bool("compare", false, "run all three kernels and compare")
 		ddrOnly   = flag.Bool("ddr-only", false, "pin all memory to DDR4")
 		premap    = flag.Bool("mpol-shm-premap", false, "McKernel: premap MPI shared-memory windows")
 		noYield   = flag.Bool("disable-sched-yield", false, "McKernel: hijack sched_yield into a no-op")
 		usFabric  = flag.Bool("userspace-fabric", false, "use a fabric with no syscalls on the message path")
 		quadrant  = flag.Bool("quadrant", false, "run nodes in quadrant mode instead of SNC-4")
+		schedF    = cliflags.Sched(flag.CommandLine)
 		jsonOut   = flag.Bool("json", false, "emit results as JSON")
 		sweep     = flag.Bool("sweep", false, "sweep the app's full node-count list")
 		trace     = flag.Bool("trace", false, "print a per-timestep breakdown (first 12 steps)")
-		counters  = flag.Bool("counters", false, "collect and print mechanism counters")
-		metricsF  = flag.Bool("metrics", false, "collect and print the metrics profile (phases, latency histograms, gauges)")
+		counters  = cliflags.Counters(flag.CommandLine)
+		metricsF  = cliflags.Metrics(flag.CommandLine)
 		metricsJ  = flag.String("metrics-json", "", "write the run's mklite-metrics/v1 JSON report to this file (implies -metrics)")
 		traceOut  = flag.String("trace-json", "", "write the run's Chrome trace-event JSON to this file")
-		faults    = flag.String("faults", "", "fault plan, e.g. 'straggler:node=3,factor=2;retry:max=2' (see docs/FAULTS.md)")
+		faults    = cliflags.Faults(flag.CommandLine)
 		list      = flag.Bool("list", false, "list applications and exit")
 	)
 	flag.Parse()
@@ -58,6 +60,7 @@ func main() {
 		DisableSchedYield: *noYield,
 		UserSpaceFabric:   *usFabric,
 		Quadrant:          *quadrant,
+		Sched:             *schedF,
 		Observe: mklite.Observe{
 			Trace:    *trace,
 			Counters: *counters,
@@ -66,7 +69,7 @@ func main() {
 		},
 	}
 	if *faults != "" {
-		plan, err := mklite.ParseFaults(*faults)
+		plan, err := cliflags.ParseFaults(*faults)
 		if err != nil {
 			fatal(err)
 		}
@@ -175,15 +178,15 @@ func main() {
 	}
 	if *trace && len(r.StepTrace) > 0 {
 		fmt.Println("  per-step trace (ms):")
-		fmt.Printf("    %4s %9s %9s %9s %9s %9s %9s\n",
-			"step", "compute", "memory", "heap", "syscall", "comm", "noise")
+		fmt.Printf("    %4s %9s %9s %9s %9s %9s %9s %9s\n",
+			"step", "compute", "memory", "heap", "syscall", "sched", "comm", "noise")
 		for i, s := range r.StepTrace {
 			if i >= 12 {
 				fmt.Printf("    ... %d more steps\n", len(r.StepTrace)-i)
 				break
 			}
-			fmt.Printf("    %4d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", i,
-				s.Compute*1e3, s.Memory*1e3, s.Heap*1e3, s.Syscall*1e3, s.Comm*1e3, s.Noise*1e3)
+			fmt.Printf("    %4d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", i,
+				s.Compute*1e3, s.Memory*1e3, s.Heap*1e3, s.Syscall*1e3, s.Sched*1e3, s.Comm*1e3, s.Noise*1e3)
 		}
 	}
 }

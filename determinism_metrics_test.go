@@ -43,14 +43,14 @@ func metricsModeDigest(t *testing.T, opts *Options) string {
 // both must leave every simulated output byte-identical to a bare run —
 // no RNG draws, no feedback into costs or scheduling.
 func TestMetricsArePassive(t *testing.T) {
-	want := metricsModeDigest(t, &Options{Trace: true})
+	want := metricsModeDigest(t, &Options{Observe: Observe{Trace: true}})
 	modes := []struct {
 		name string
 		opts *Options
 	}{
-		{"metrics", &Options{Trace: true, Metrics: true}},
-		{"flame", &Options{Trace: true, Flame: true}},
-		{"metrics+flame+counters", &Options{Trace: true, Metrics: true, Flame: true, Counters: true}},
+		{"metrics", &Options{Observe: Observe{Trace: true, Metrics: true}}},
+		{"flame", &Options{Observe: Observe{Trace: true, Flame: true}}},
+		{"metrics+flame+counters", &Options{Observe: Observe{Trace: true, Metrics: true, Flame: true, Counters: true}}},
 	}
 	for _, m := range modes {
 		if got := metricsModeDigest(t, m.opts); got != want {
@@ -64,7 +64,7 @@ func TestMetricsArePassive(t *testing.T) {
 // twice over.
 func TestMetricsAreReproducible(t *testing.T) {
 	run := func() Result {
-		r, err := Run("minife", McKernel, 32, 1, &Options{Metrics: true, Flame: true})
+		r, err := Run("minife", McKernel, 32, 1, &Options{Observe: Observe{Metrics: true, Flame: true}})
 		if err != nil {
 			t.Fatal(err)
 		}

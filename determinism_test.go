@@ -25,7 +25,7 @@ func runDigest(t *testing.T, seed uint64) string {
 	t.Helper()
 	h := sha256.New()
 
-	results, err := Compare("minife", 32, seed, &Options{Trace: true})
+	results, err := Compare("minife", 32, seed, &Options{Observe: Observe{Trace: true}})
 	if err != nil {
 		t.Fatalf("Compare(minife, 32, %d): %v", seed, err)
 	}
@@ -149,13 +149,13 @@ func traceModeDigest(t *testing.T, opts *Options) string {
 // every simulated output byte-identical to a tracing-off run — no RNG
 // draws, no feedback into costs or scheduling.
 func TestTracingIsPassive(t *testing.T) {
-	want := traceModeDigest(t, &Options{Trace: true})
+	want := traceModeDigest(t, &Options{Observe: Observe{Trace: true}})
 	modes := []struct {
 		name string
 		opts *Options
 	}{
-		{"counters", &Options{Trace: true, Counters: true}},
-		{"counters+events", &Options{Trace: true, Counters: true, Events: true}},
+		{"counters", &Options{Observe: Observe{Trace: true, Counters: true}}},
+		{"counters+events", &Options{Observe: Observe{Trace: true, Counters: true, Events: true}}},
 	}
 	for _, m := range modes {
 		if got := traceModeDigest(t, m.opts); got != want {

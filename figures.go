@@ -8,6 +8,7 @@ import (
 	"mklite/internal/experiments"
 	"mklite/internal/fault"
 	"mklite/internal/ltp"
+	"mklite/internal/sched"
 	"mklite/internal/stats"
 )
 
@@ -42,12 +43,18 @@ type ExperimentConfig struct {
 	// against every facility-comparison leg; see DefaultFacilitySLO. The
 	// empty spec leaves all output byte-identical.
 	SLO string
+	// Sched forces a scheduling policy ("cfs", "rr", "coop", "gang",
+	// "tickless", "adaptive"; see docs/SCHED.md) onto every run that does
+	// not pick one of its own — the schedsweep grid keeps its per-cell
+	// choices. Empty keeps each kernel's default, leaving all output
+	// byte-identical.
+	Sched string
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
 	return experiments.Config{Reps: c.Reps, Seed: c.Seed, Quick: c.Quick,
 		Workers: c.Workers, Counters: c.Counters, Metrics: c.Metrics,
-		Faults: c.Faults, SLO: c.SLO}
+		Faults: c.Faults, SLO: c.SLO, Sched: sched.Kind(c.Sched)}
 }
 
 // Point is one measurement of a scaling series.
@@ -201,6 +208,25 @@ func ReproduceResilience(cfg ExperimentConfig) (Figure, error) {
 		return Figure{}, err
 	}
 	return fromStatsFigure(f), nil
+}
+
+// ReproduceSchedSweep runs the scheduler-policy sweep: every policy of the
+// scheduling seam ("cfs", "rr", "coop", "gang", "tickless", "adaptive") on
+// all three kernels across each application's node counts (up to 2,048),
+// reporting the noise-gap percentage — the share of elapsed time lost to
+// interference plus explicit scheduler charges. One figure per application
+// (MiniFE: collective-bound; LAMMPS: halo-bound); series are named
+// "<kernel>/<policy>". See docs/SCHED.md.
+func ReproduceSchedSweep(cfg ExperimentConfig) ([]Figure, error) {
+	figs, err := experiments.SchedSweep(cfg.internal())
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure
+	for _, f := range figs {
+		out = append(out, fromStatsFigure(f))
+	}
+	return out, nil
 }
 
 // TableIRow is one row of the paper's Table I.

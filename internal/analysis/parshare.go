@@ -47,6 +47,13 @@ var parFuncs = map[string]bool{
 //     and decision records in worker order, breaking the byte-identical-
 //     at-any-width contract; workers build job-local rings and counters,
 //     merged in batch order after the join.
+//   - internal/sched: State is one run's mutable scheduler state — the
+//     adaptive policy's EMA, live quantum and RNG stream all advance on
+//     every Step, so a State shared across par jobs makes quantum
+//     adaptation (and the draws behind it) depend on which worker stepped
+//     first. Policy is guarded with it: a policy handle's only job-side
+//     use is minting per-run State, and the contract keeps both derivations
+//     inside the closure (k.Sched().NewState(...) per job).
 var sharedTypeGroups = []struct {
 	pkg   string // import-path suffix of the owning package
 	disp  string // display prefix in diagnostics
@@ -58,6 +65,7 @@ var sharedTypeGroups = []struct {
 	{"internal/fault", "fault", map[string]bool{"Injector": true}},
 	{"internal/fleet", "fleet", map[string]bool{"Scheduler": true, "Allocator": true}},
 	{"internal/obs", "obs", map[string]bool{"Timeline": true, "DecisionLog": true}},
+	{"internal/sched", "sched", map[string]bool{"Policy": true, "State": true}},
 }
 
 // ParShare rejects par.Map closures that capture per-job state — a *sim.RNG
@@ -70,8 +78,9 @@ var ParShare = &Analyzer{
 	Doc: "forbid capturing a *sim.RNG (or sim.Engine/sim.Proc), a " +
 		"*trace.Sink (or trace.Counters/trace.Events), a " +
 		"*metrics.Registry (or metrics.Histogram), a *fault.Injector, a " +
-		"*fleet.Scheduler (or fleet.Allocator) or an *obs.Timeline (or " +
-		"obs.DecisionLog) across a par.Map closure, " +
+		"*fleet.Scheduler (or fleet.Allocator), an *obs.Timeline (or " +
+		"obs.DecisionLog) or a sched.Policy (or *sched.State) across a " +
+		"par.Map closure, " +
 		"and forbid package-level trace sinks and metrics registries; " +
 		"per-job state is derived inside the job and merged after the join",
 	Run: runParShare,
@@ -181,6 +190,8 @@ func checkClosure(pass *Pass, lit *ast.FuncLit) {
 				hint = "decide placement sequentially before the fan-out and pass immutable launch specs into the closure"
 			case isObsType(v.Type()):
 				hint = "build a job-local trace.NewEvents ring inside the closure and merge it into the timeline/log in batch order after the join"
+			case isSchedType(v.Type()):
+				hint = "derive the policy from the job's kernel inside the closure and seed its state per run: k.Sched().NewState(sim.StreamSeed(seed, sched.StreamState))"
 			}
 			pass.Reportf(id.Pos(), "par closure captures %s %q from an enclosing scope: per-job state must be derived inside the job — %s — or worker scheduling leaks into the results (determinism contract, see docs/LINTING.md)",
 				name, id.Name, hint)
@@ -255,4 +266,11 @@ func isFleetType(t types.Type) bool {
 func isObsType(t types.Type) bool {
 	_, gi, _ := guardedNamed(t)
 	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/obs"
+}
+
+// isSchedType reports whether t is — or points to — a guarded
+// internal/sched type.
+func isSchedType(t types.Type) bool {
+	_, gi, _ := guardedNamed(t)
+	return gi >= 0 && sharedTypeGroups[gi].pkg == "internal/sched"
 }

@@ -27,6 +27,7 @@ import (
 	"mklite/internal/mos"
 	"mklite/internal/mpi"
 	"mklite/internal/noise"
+	"mklite/internal/sched"
 	"mklite/internal/sim"
 	"mklite/internal/trace"
 )
@@ -49,6 +50,12 @@ type Job struct {
 	// Linux carries the Linux boot configuration; nil selects the
 	// defaults.
 	Linux *linuxos.Config
+	// Sched overrides the booted kernel's scheduling policy (see
+	// internal/sched); empty keeps each kernel's default — cfs on Linux,
+	// coop on the LWKs — under which the run is byte-identical to a
+	// pre-policy simulator. The override is copied into whichever OS
+	// config the job boots, so it works on all three kernels.
+	Sched sched.Kind
 	// ForceDDROnly pins all application memory to DDR4 regardless of
 	// kernel (the Table I and CCS-QCD-DDR experiments).
 	ForceDDROnly bool
@@ -77,13 +84,14 @@ type StepRecord struct {
 	Memory  sim.Duration
 	Heap    sim.Duration
 	Syscall sim.Duration
+	Sched   sim.Duration
 	Comm    sim.Duration
 	Noise   sim.Duration
 }
 
 // Total returns the step's duration.
 func (s StepRecord) Total() sim.Duration {
-	return s.Compute + s.Memory + s.Heap + s.Syscall + s.Comm + s.Noise
+	return s.Compute + s.Memory + s.Heap + s.Syscall + s.Sched + s.Comm + s.Noise
 }
 
 // normalized fills defaults.
@@ -113,6 +121,7 @@ type Breakdown struct {
 	Memory   sim.Duration // bandwidth-limited traffic
 	Heap     sim.Duration // brk servicing + heap faults
 	Syscall  sim.Duration // device syscalls, sched_yield, traps
+	Sched    sim.Duration // explicit scheduler charges (non-default policies)
 	Comm     sim.Duration // wire time of halo + collectives
 	Noise    sim.Duration // interference absorbed (incl. amplification)
 	SetupShm sim.Duration // first-touch of MPI shm windows (timed phase)
@@ -120,7 +129,7 @@ type Breakdown struct {
 
 // Total sums the attributed time.
 func (b Breakdown) Total() sim.Duration {
-	return b.Compute + b.Memory + b.Heap + b.Syscall + b.Comm + b.Noise + b.SetupShm
+	return b.Compute + b.Memory + b.Heap + b.Syscall + b.Sched + b.Comm + b.Noise + b.SetupShm
 }
 
 // Result is one run's outcome.
@@ -215,6 +224,17 @@ func RunContext(ctx context.Context, j Job) (Result, error) {
 	}
 	if err := j.Faults.Validate(); err != nil {
 		return Result{}, err
+	}
+	if j.Sched != "" {
+		// Per-job policy override: copy each OS config — they may be the
+		// caller's — and let whichever kernel boots honour it.
+		kind, err := sched.Parse(string(j.Sched))
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: %w", err)
+		}
+		lin, mck, mosCfg := *j.Linux, *j.McK, *j.MOS
+		lin.Sched, mck.Sched, mosCfg.Sched = kind, kind, kind
+		j.Linux, j.McK, j.MOS = &lin, &mck, &mosCfg
 	}
 	// The injector draws from its own stream — never from the run RNG —
 	// so a nil injector (empty plan) leaves the draw sequence untouched.

@@ -11,6 +11,7 @@ import (
 	"mklite/internal/mem"
 	"mklite/internal/mpi"
 	"mklite/internal/noise"
+	"mklite/internal/sched"
 	"mklite/internal/sim"
 	"mklite/internal/trace"
 )
@@ -34,6 +35,7 @@ type stepParts struct {
 	memory  sim.Duration
 	heap    sim.Duration
 	syscall sim.Duration
+	sched   sim.Duration
 	comm    sim.Duration
 	noise   sim.Duration
 }
@@ -41,13 +43,13 @@ type stepParts struct {
 // total is the step's full duration — the only quantity the hot loop adds
 // to elapsed.
 func (p stepParts) total() sim.Duration {
-	return p.compute + p.memory + p.heap + p.syscall + p.comm + p.noise
+	return p.compute + p.memory + p.heap + p.syscall + p.sched + p.comm + p.noise
 }
 
 // record converts the composition into the public per-step attribution.
 func (p stepParts) record() StepRecord {
 	return StepRecord{Compute: p.compute, Memory: p.memory, Heap: p.heap,
-		Syscall: p.syscall, Comm: p.comm, Noise: p.noise}
+		Syscall: p.syscall, Sched: p.sched, Comm: p.comm, Noise: p.noise}
 }
 
 // addTo accumulates the composition into the run-level breakdown.
@@ -56,6 +58,7 @@ func (p stepParts) addTo(bd *Breakdown) {
 	bd.Memory += p.memory
 	bd.Heap += p.heap
 	bd.Syscall += p.syscall
+	bd.Sched += p.sched
 	bd.Comm += p.comm
 	bd.Noise += p.noise
 }
@@ -73,7 +76,8 @@ func (p stepParts) emitSpans(sink *trace.Sink, start sim.Time) {
 		d    sim.Duration
 	}{
 		{"compute", p.compute}, {"memory", p.memory}, {"heap", p.heap},
-		{"syscall", p.syscall}, {"comm", p.comm}, {"noise", p.noise},
+		{"syscall", p.syscall}, {"sched", p.sched}, {"comm", p.comm},
+		{"noise", p.noise},
 	} {
 		if ph.d <= 0 {
 			continue
@@ -96,6 +100,17 @@ func runSteps(ctx context.Context, k kernel.Kernel, j Job, comm *mpi.Comm, ns *n
 	costs := k.Costs()
 	prof := k.Noise()
 	totalRanks := comm.Ranks()
+
+	// Scheduler seam: the booted kernel's policy charges each step's
+	// explicit overhead. The state's RNG stream is derived from the job
+	// seed, never the run RNG, so the default (zero-charge) policies leave
+	// the draw sequence — and the run output — untouched. Gang scheduling
+	// additionally reshapes noise absorption: with every rank's windows
+	// aligned, a detour at a synchronisation point is absorbed inside one
+	// shared window instead of max-combined across ranks.
+	pol := k.Sched()
+	schedSt := pol.NewState(sim.StreamSeed(j.Seed, sched.StreamState))
+	gangAligned := pol.Kind() == sched.Gang
 
 	sink := j.Sink
 	counting := sink.Counting()
@@ -362,6 +377,25 @@ func runSteps(ctx context.Context, k kernel.Kernel, j Job, comm *mpi.Comm, ns *n
 		memMax := ns.memMax
 		base := cpuTime + memMax + heapMax + sysTime
 
+		// Explicit scheduling overhead for this step's busy time. Zero
+		// under the default disciplines (their cost is embedded in the
+		// calibrated noise/cost model); rr/gang/adaptive charge deltas.
+		schedCost := schedSt.Step(base)
+		if counting {
+			if schedCost.Switches > 0 {
+				sink.CountKey(trace.KeySchedSwitches, schedCost.Switches)
+			}
+			if schedCost.Ticks > 0 {
+				sink.CountKey(trace.KeySchedTicks, schedCost.Ticks)
+			}
+			if schedCost.Adjusted > 0 {
+				sink.CountKey(trace.KeySchedQuantumAdjust, schedCost.Adjusted)
+			}
+			if schedCost.GangSlack > 0 {
+				sink.CountKey(trace.KeySchedGangSlackNs, int64(schedCost.GangSlack))
+			}
+		}
+
 		// Fault layer: a straggler's excess over the healthy local phase
 		// is absorbed by the whole job at the step's synchronisation
 		// point — the max-over-ranks semantics that let one slow node
@@ -392,7 +426,18 @@ func runSteps(ctx context.Context, k kernel.Kernel, j Job, comm *mpi.Comm, ns *n
 		// was silently dropped whenever a collective was due).
 		var detour sim.Duration
 		for i := 0; i < collsDue; i++ {
-			d, maxRank := noise.MaxDetourRank(rng, prof, totalRanks, base)
+			var d sim.Duration
+			maxRank := -1
+			if gangAligned {
+				// Aligned gang windows: every rank's detours land in
+				// the same co-scheduling window, so the collective
+				// absorbs one rank's worth of interference instead of
+				// the max over all ranks (no single straggling rank —
+				// max_rank is reported as -1).
+				d = prof.DetourInTo(rng, 1, base, sink)
+			} else {
+				d, maxRank = noise.MaxDetourRank(rng, prof, totalRanks, base)
+			}
 			detour += d
 			if counting {
 				sink.CountKey(trace.KeyMPICollectives, 1)
@@ -408,11 +453,18 @@ func runSteps(ctx context.Context, k kernel.Kernel, j Job, comm *mpi.Comm, ns *n
 			}
 		}
 		if haloWire > 0 {
-			nb := haloNeighborhood
-			if nb > totalRanks {
-				nb = totalRanks
+			var d sim.Duration
+			if gangAligned {
+				// Same alignment argument as the collective path, over
+				// the stencil neighbourhood.
+				d = prof.DetourInTo(rng, 1, base, sink)
+			} else {
+				nb := haloNeighborhood
+				if nb > totalRanks {
+					nb = totalRanks
+				}
+				d, _ = noise.MaxDetourRank(rng, prof, nb, base)
 			}
-			d, _ := noise.MaxDetourRank(rng, prof, nb, base)
 			detour += d
 			if counting {
 				sink.CountKey(trace.KeyMPIHaloExchanges, int64(haloRounds))
@@ -433,7 +485,8 @@ func runSteps(ctx context.Context, k kernel.Kernel, j Job, comm *mpi.Comm, ns *n
 		}
 
 		parts := stepParts{compute: cpuTime, memory: memMax, heap: heapMax,
-			syscall: sysTime, comm: haloWire + collWire + linkDelay,
+			syscall: sysTime, sched: schedCost.Overhead,
+			comm:  haloWire + collWire + linkDelay,
 			noise: detour + stragglerAbs}
 		if counting {
 			sink.CountKey(trace.KeyNoiseDetourNs, int64(detour))
@@ -471,6 +524,11 @@ func runSteps(ctx context.Context, k kernel.Kernel, j Job, comm *mpi.Comm, ns *n
 		sink.Phase("memory", int64(bd.Memory))
 		sink.Phase("heap", int64(bd.Heap))
 		sink.Phase("syscall", int64(bd.Syscall))
+		if bd.Sched > 0 {
+			// Guarded: a default-policy run's metrics table is
+			// byte-identical to the pre-policy simulator's.
+			sink.Phase("sched", int64(bd.Sched))
+		}
 		sink.Phase("comm", int64(bd.Comm))
 		sink.Phase("noise", int64(bd.Noise))
 		sink.Phase("setup.shm", int64(bd.SetupShm))

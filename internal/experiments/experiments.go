@@ -16,6 +16,7 @@ import (
 	"mklite/internal/kernel"
 	"mklite/internal/metrics"
 	"mklite/internal/par"
+	"mklite/internal/sched"
 	"mklite/internal/sim"
 	"mklite/internal/stats"
 	"mklite/internal/trace"
@@ -56,6 +57,11 @@ type Config struct {
 	// table. The empty spec leaves all output byte-identical — the SLO
 	// only observes, it never alters scheduling.
 	SLO string
+	// Sched forces a scheduling policy (see internal/sched) onto every run
+	// whose job does not select one of its own — a job-level Sched wins, so
+	// the schedsweep grid is unaffected. Empty keeps each kernel's default,
+	// leaving every output byte-identical.
+	Sched sched.Kind
 	// Faults schedules deterministic fault injection (see internal/fault)
 	// for every run behind a figure that does not carry a job-level plan
 	// of its own: a non-nil cluster.Job.Faults wins outright and the two
@@ -119,6 +125,9 @@ func measureCounted(cfg Config, job cluster.Job) (stats.Summary, *trace.Counters
 		j.Seed = sim.StreamSeed(cfg.Seed, uint64(rep))
 		if j.Faults == nil {
 			j.Faults = cfg.Faults
+		}
+		if j.Sched == "" {
+			j.Sched = cfg.Sched
 		}
 		var ctrs *trace.Counters
 		var reg *metrics.Registry

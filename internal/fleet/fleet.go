@@ -257,9 +257,12 @@ func interferenceFor(tmpl *fault.Plan, cotenancy int) *fault.Plan {
 
 // JobOutcome is one completed job's record in Result.PerJob.
 type JobOutcome struct {
-	ID        int    `json:"id"`
-	App       string `json:"app"`
-	Kernel    string `json:"kernel"`
+	ID     int    `json:"id"`
+	App    string `json:"app"`
+	Kernel string `json:"kernel"`
+	// Sched is the policy's scheduler choice (empty = the kernel default,
+	// omitted from JSON so default facilities stay byte-identical).
+	Sched     string `json:"sched,omitempty"`
 	Nodes     int    `json:"nodes"`
 	Timesteps int    `json:"timesteps"`
 	// Virtual facility-clock timeline, in seconds.

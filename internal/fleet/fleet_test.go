@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"testing"
 
+	"mklite/internal/apps"
 	"mklite/internal/fault"
 	"mklite/internal/kernel"
+	"mklite/internal/sched"
 	"mklite/internal/sim"
 )
 
@@ -306,7 +308,11 @@ func TestPolicies(t *testing.T) {
 	h := Heuristic()
 	counts := map[kernel.Type]int{}
 	for _, j := range stream {
-		k := h.Select(j)
+		ch := h.Select(j)
+		if ch.Sched != "" {
+			t.Fatalf("heuristic forced scheduler %q, want kernel default", ch.Sched)
+		}
+		k := ch.Kernel
 		counts[k]++
 		switch j.App.Name {
 		case "lammps", "amg2013":
@@ -320,7 +326,7 @@ func TestPolicies(t *testing.T) {
 				t.Fatalf("heuristic sent lulesh to %v", k)
 			}
 		}
-		if Fixed(kernel.TypeLinux).Select(j) != kernel.TypeLinux {
+		if Fixed(kernel.TypeLinux).Select(j).Kernel != kernel.TypeLinux {
 			t.Fatal("fixed policy deviated")
 		}
 	}
@@ -375,6 +381,26 @@ func TestParsePolicy(t *testing.T) {
 	}
 	if _, err := ParsePolicy("round-robin", 1, 1, nil); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+
+	// The ":<sched>" suffix forces a scheduler on every selection.
+	p, err := ParsePolicy("heuristic:gang", 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "heuristic:gang" {
+		t.Fatalf("ParsePolicy(heuristic:gang).Name() = %q", p.Name())
+	}
+	j := &Job{App: apps.MiniFE(), Nodes: 4}
+	ch := p.Select(j)
+	if ch.Sched != sched.Gang {
+		t.Fatalf("heuristic:gang selected sched %q, want gang", ch.Sched)
+	}
+	if ch.Kernel != Heuristic().Select(j).Kernel {
+		t.Fatal("sched suffix changed the kernel decision")
+	}
+	if _, err := ParsePolicy("fixed-linux:fifo", 1, 1, nil); err == nil {
+		t.Fatal("unknown sched suffix accepted")
 	}
 }
 
@@ -441,5 +467,48 @@ func TestPolicySeparation(t *testing.T) {
 	if specRes.JobsPerHour < linux.JobsPerHour*1.05 {
 		t.Fatalf("no measurable policy separation: specialize %.1f jobs/h vs fixed-linux %.1f jobs/h",
 			specRes.JobsPerHour, linux.JobsPerHour)
+	}
+}
+
+// TestSchedChoiceFlowsThrough: a ":<sched>" policy records its scheduler on
+// every per-job outcome and still produces a deterministic, completed run —
+// the fleet seam carries the Choice end to end, and forcing a default-charge
+// policy (tickless) leaves the facility byte-identical to the plain policy
+// on the LWKs' jobs only insofar as the cluster model says so (here we only
+// pin the plumbing, not the physics).
+func TestSchedChoiceFlowsThrough(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Jobs = 40
+	pol, err := ParsePolicy("heuristic:rr", cfg.Seed, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = pol
+	res := mustRun(t, cfg)
+	if res.Policy != "heuristic:rr" {
+		t.Fatalf("result policy = %q", res.Policy)
+	}
+	if len(res.PerJob) != cfg.Jobs {
+		t.Fatalf("per-job records = %d, want %d", len(res.PerJob), cfg.Jobs)
+	}
+	for _, o := range res.PerJob {
+		if o.Sched != "rr" {
+			t.Fatalf("job %d recorded sched %q, want rr", o.ID, o.Sched)
+		}
+	}
+
+	// And the default spelling records no scheduler at all.
+	cfg.Policy = Heuristic()
+	base := mustRun(t, cfg)
+	for _, o := range base.PerJob {
+		if o.Sched != "" {
+			t.Fatalf("default policy recorded sched %q on job %d", o.Sched, o.ID)
+		}
+	}
+
+	// rr charges real overhead, so the facility outcome must differ from the
+	// default — the choice reaches the cluster model, not just the report.
+	if res.MakespanSec == base.MakespanSec {
+		t.Fatal("forcing rr left the makespan bit-identical — sched choice not reaching the runs")
 	}
 }

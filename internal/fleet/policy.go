@@ -11,31 +11,64 @@ import (
 	"mklite/internal/fault"
 	"mklite/internal/kernel"
 	"mklite/internal/par"
+	"mklite/internal/sched"
 	"mklite/internal/sim"
 )
 
-// KernelPolicy chooses a kernel for each job the facility launches — the
-// MultiK-style twist on batch scheduling: the facility can boot Linux,
-// McKernel or mOS per job, and the policy decides which. Implementations
-// must be deterministic pure functions of the job (plus any state computed
-// deterministically at construction); Select is called from the scheduler's
-// single-goroutine event loop, never concurrently.
+// Choice is one job's full placement decision: which kernel the facility
+// boots for it, and which scheduling policy that kernel runs. An empty Sched
+// keeps the kernel's boot-time default (cfs on Linux, coop on the LWKs),
+// which is byte-identical to selecting the kernel alone.
+type Choice struct {
+	Kernel kernel.Type
+	Sched  sched.Kind
+}
+
+// KernelPolicy chooses a kernel — and optionally a scheduler — for each job
+// the facility launches: the MultiK-style twist on batch scheduling. The
+// facility can boot Linux, McKernel or mOS per job with any sched.Kind, and
+// the policy decides both. Implementations must be deterministic pure
+// functions of the job (plus any state computed deterministically at
+// construction); Select is called from the scheduler's single-goroutine
+// event loop, never concurrently.
 type KernelPolicy interface {
 	// Name identifies the policy in results and reports.
 	Name() string
-	// Select returns the kernel to boot for the job.
-	Select(j *Job) kernel.Type
+	// Select returns the kernel (and scheduler) to boot for the job.
+	Select(j *Job) Choice
 }
 
 // fixedPolicy runs every job on one kernel — the facility everyone operates
 // today, and the baseline the adaptive policies are measured against.
 type fixedPolicy struct{ k kernel.Type }
 
-// Fixed returns the policy that runs every job on k.
+// Fixed returns the policy that runs every job on k with its default
+// scheduler.
 func Fixed(k kernel.Type) KernelPolicy { return fixedPolicy{k} }
 
-func (p fixedPolicy) Name() string              { return "fixed-" + strings.ToLower(p.k.String()) }
-func (p fixedPolicy) Select(j *Job) kernel.Type { return p.k }
+func (p fixedPolicy) Name() string         { return "fixed-" + strings.ToLower(p.k.String()) }
+func (p fixedPolicy) Select(j *Job) Choice { return Choice{Kernel: p.k} }
+
+// schedOverride pins every job of a base policy to one scheduling policy —
+// the ParsePolicy "<policy>:<sched>" suffix. The kernel decision is the
+// base's; only the scheduler is forced.
+type schedOverride struct {
+	base KernelPolicy
+	kind sched.Kind
+}
+
+// WithSched wraps a policy so every selected kernel boots with the given
+// scheduler instead of its default.
+func WithSched(p KernelPolicy, kind sched.Kind) KernelPolicy {
+	return schedOverride{base: p, kind: kind}
+}
+
+func (p schedOverride) Name() string { return p.base.Name() + ":" + string(p.kind) }
+func (p schedOverride) Select(j *Job) Choice {
+	ch := p.base.Select(j)
+	ch.Sched = p.kind
+	return ch
+}
 
 // heuristicPolicy is the static profile heuristic: it reads the
 // application's published syscall/noise profile off its Spec and picks the
@@ -65,15 +98,15 @@ const (
 	HeuristicYieldsPerStep = 8000
 )
 
-func (heuristicPolicy) Select(j *Job) kernel.Type {
+func (heuristicPolicy) Select(j *Job) Choice {
 	s := j.App
 	if s.DeviceSyscallFactor >= HeuristicSyscallFactor || s.SchedYieldsPerStep >= HeuristicYieldsPerStep {
-		return kernel.TypeLinux
+		return Choice{Kernel: kernel.TypeLinux}
 	}
 	if s.HeapOpsPerStep != nil && len(s.HeapOpsPerStep(j.Nodes)) > 0 {
-		return kernel.TypeMOS
+		return Choice{Kernel: kernel.TypeMOS}
 	}
-	return kernel.TypeMcKernel
+	return Choice{Kernel: kernel.TypeMcKernel}
 }
 
 // specializePolicy is the MultiK-style measured policy: at construction it
@@ -149,11 +182,11 @@ const calibrationNodes = 16
 
 func (p *specializePolicy) Name() string { return "specialize" }
 
-func (p *specializePolicy) Select(j *Job) kernel.Type {
+func (p *specializePolicy) Select(j *Job) Choice {
 	if k, ok := p.table[j.App.Name]; ok {
-		return k
+		return Choice{Kernel: k}
 	}
-	return kernel.TypeMcKernel
+	return Choice{Kernel: kernel.TypeMcKernel}
 }
 
 // Table returns the calibrated app -> kernel map in app-name order, for
@@ -166,27 +199,47 @@ func (p *specializePolicy) Table() []string {
 	return out
 }
 
-// PolicyNames lists the selectable policy spellings of ParsePolicy.
+// PolicyNames lists the selectable policy spellings of ParsePolicy. Any of
+// them takes an optional ":<sched>" suffix (e.g. "heuristic:gang") forcing
+// that scheduling policy on every selected kernel.
 func PolicyNames() []string {
 	return []string{"fixed-linux", "fixed-mckernel", "fixed-mos", "heuristic", "specialize"}
 }
 
-// ParsePolicy resolves a policy name. "specialize" runs its calibration
-// grid, so it needs the facility seed, fan-out width and interference
-// template; the other policies ignore them.
+// ParsePolicy resolves a policy name, optionally suffixed ":<sched>" to pin
+// every job's scheduler (any sched.Kinds spelling). "specialize" runs its
+// calibration grid, so it needs the facility seed, fan-out width and
+// interference template; the other policies ignore them.
 func ParsePolicy(name string, seed uint64, workers int, interference *fault.Plan) (KernelPolicy, error) {
-	switch name {
-	case "fixed-linux":
-		return Fixed(kernel.TypeLinux), nil
-	case "fixed-mckernel":
-		return Fixed(kernel.TypeMcKernel), nil
-	case "fixed-mos":
-		return Fixed(kernel.TypeMOS), nil
-	case "heuristic":
-		return Heuristic(), nil
-	case "specialize":
-		return Specialize(seed, workers, interference)
-	default:
-		return nil, fmt.Errorf("fleet: unknown kernel policy %q (known: %v)", name, PolicyNames())
+	base, schedSuffix, hasSched := strings.Cut(name, ":")
+	var kind sched.Kind
+	if hasSched {
+		var err error
+		if kind, err = sched.Parse(schedSuffix); err != nil {
+			return nil, fmt.Errorf("fleet: policy %q: %w", name, err)
+		}
 	}
+	var pol KernelPolicy
+	var err error
+	switch base {
+	case "fixed-linux":
+		pol = Fixed(kernel.TypeLinux)
+	case "fixed-mckernel":
+		pol = Fixed(kernel.TypeMcKernel)
+	case "fixed-mos":
+		pol = Fixed(kernel.TypeMOS)
+	case "heuristic":
+		pol = Heuristic()
+	case "specialize":
+		pol, err = Specialize(seed, workers, interference)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown kernel policy %q (known: %v, each with an optional :<sched> suffix)", name, PolicyNames())
+	}
+	if hasSched {
+		pol = WithSched(pol, kind)
+	}
+	return pol, nil
 }

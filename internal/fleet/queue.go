@@ -6,6 +6,7 @@ import (
 	"mklite/internal/fault"
 	"mklite/internal/kernel"
 	"mklite/internal/obs"
+	"mklite/internal/sched"
 	"mklite/internal/sim"
 )
 
@@ -14,8 +15,11 @@ import (
 // fan-out. Worker closures capture the batch slice, never the Scheduler or
 // Allocator that produced it.
 type launch struct {
-	job        *Job
-	kernel     kernel.Type
+	job    *Job
+	kernel kernel.Type
+	// sched is the policy's scheduler choice; empty keeps the kernel's
+	// boot-time default.
+	sched      sched.Kind
 	nodes      []int
 	cotenancy  int
 	plan       *fault.Plan
@@ -271,10 +275,11 @@ func (sn availSnapshot) profile() *profile {
 	return newProfile(sn.now, sn.freeNow, sn.releases)
 }
 
-// newLaunch fixes a job's launch decisions: the policy's kernel, the
-// allocator's nodes and the co-tenancy-scaled interference plan.
+// newLaunch fixes a job's launch decisions: the policy's kernel and
+// scheduler choice, the allocator's nodes and the co-tenancy-scaled
+// interference plan.
 func (s *Scheduler) newLaunch(j *Job, backfilled bool) *launch {
-	k := s.cfg.Policy.Select(j)
+	ch := s.cfg.Policy.Select(j)
 	nodes, cotenancy, err := s.alloc.Alloc(j.Nodes)
 	if err != nil {
 		// schedulePass only calls after Fits; reaching here is a bug.
@@ -282,7 +287,8 @@ func (s *Scheduler) newLaunch(j *Job, backfilled bool) *launch {
 	}
 	return &launch{
 		job:        j,
-		kernel:     k,
+		kernel:     ch.Kernel,
+		sched:      ch.Sched,
 		nodes:      nodes,
 		cotenancy:  cotenancy,
 		plan:       interferenceFor(s.cfg.Interference, cotenancy),

@@ -206,6 +206,7 @@ func (s *Scheduler) launch(batch []*launch) error {
 		res, err := cluster.Run(cluster.Job{
 			App:    l.job.App,
 			Kernel: l.kernel,
+			Sched:  l.sched,
 			Nodes:  l.job.Nodes,
 			Seed:   l.job.Seed,
 			Sink:   trace.NewSink(c, ev),
@@ -259,6 +260,7 @@ func (s *Scheduler) launch(batch []*launch) error {
 				ID:         l.job.ID,
 				App:        l.job.App.Name,
 				Kernel:     kernelName(l.kernel),
+				Sched:      string(l.sched),
 				Nodes:      l.job.Nodes,
 				Timesteps:  l.job.Timesteps,
 				ArrivalSec: l.job.Arrival.Seconds(),

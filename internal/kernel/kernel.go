@@ -3,6 +3,7 @@ package kernel
 import (
 	"mklite/internal/mem"
 	"mklite/internal/noise"
+	"mklite/internal/sched"
 	"mklite/internal/sim"
 )
 
@@ -57,8 +58,8 @@ type Kernel interface {
 	NewHeap(as *mem.AddrSpace, limit int64, domains []int) (mem.Heap, error)
 	// SyscallTime returns the expected service time of one invocation.
 	SyscallTime(n Sysno) sim.Duration
-	// Sched returns the scheduler configuration of application cores.
-	Sched() SchedConfig
+	// Sched returns the scheduling policy of application cores.
+	Sched() sched.Policy
 }
 
 // Base supplies the boilerplate part of a Kernel; concrete kernels embed
@@ -72,7 +73,7 @@ type Base struct {
 	KNoise *noise.Profile
 	KPart  Partition
 	KPhys  *mem.Phys
-	KSched SchedConfig
+	KSched sched.Policy
 }
 
 // Name implements Kernel.
@@ -100,7 +101,7 @@ func (b *Base) Partition() Partition { return b.KPart }
 func (b *Base) Phys() *mem.Phys { return b.KPhys }
 
 // Sched implements Kernel.
-func (b *Base) Sched() SchedConfig { return b.KSched }
+func (b *Base) Sched() sched.Policy { return b.KSched }
 
 // SyscallTime implements Kernel: trap plus offload round trip per the
 // disposition table.

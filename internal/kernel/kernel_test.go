@@ -289,6 +289,79 @@ func TestTimeSharedFairness(t *testing.T) {
 	}
 }
 
+// Regression for the historical tick model that stretched only compute
+// slices: virtual time spent in context switches is tick-charged too, so a
+// ticked run is slower than a tick-free one by exactly its TickTime, and
+// that TickTime exceeds a compute-only stretch.
+func TestRunScheduleTickChargesSwitchTime(t *testing.T) {
+	cfg := SchedConfig{
+		Preemptive:    true,
+		Timeslice:     10 * sim.Millisecond,
+		ContextSwitch: 2 * sim.Millisecond,
+		TickPeriod:    4 * sim.Millisecond,
+		TickOverhead:  sim.Millisecond,
+	}
+	tasks := []sim.Duration{25 * sim.Millisecond, 25 * sim.Millisecond}
+	res := RunSchedule(tasks, cfg)
+	flat := cfg
+	flat.TickOverhead = 0
+	base := RunSchedule(tasks, flat)
+	if res.TickTime <= 0 {
+		t.Fatal("no tick charged")
+	}
+	if res.Makespan != base.Makespan+res.TickTime {
+		t.Fatalf("makespan %v != tick-free %v + tick %v", res.Makespan, base.Makespan, res.TickTime)
+	}
+	rate := float64(cfg.TickOverhead) / float64(cfg.TickPeriod)
+	if computeOnly := (tasks[0] + tasks[1]).Scale(rate); res.TickTime <= computeOnly {
+		t.Fatalf("tick %v exempts switch time (compute-only stretch %v)", res.TickTime, computeOnly)
+	}
+}
+
+func TestRunScheduleDecomposition(t *testing.T) {
+	cfg := TimeSharing(LinuxCosts(), 10*sim.Millisecond, 4*sim.Millisecond)
+	res := RunSchedule([]sim.Duration{25 * sim.Millisecond, 10 * sim.Millisecond, 7 * sim.Millisecond}, cfg)
+	if res.TickTime <= 0 || res.Switches == 0 {
+		t.Fatalf("degenerate schedule: %+v", res)
+	}
+	if want := sim.Duration(res.Switches)*cfg.ContextSwitch + res.TickTime; res.Overhead != want {
+		t.Fatalf("Overhead %v != Switches·ContextSwitch + tick = %v", res.Overhead, want)
+	}
+}
+
+func TestRunScheduleSingleTaskPreemptive(t *testing.T) {
+	cfg := TimeSharing(LinuxCosts(), 10*sim.Millisecond, 4*sim.Millisecond)
+	task := 25 * sim.Millisecond
+	res := RunSchedule([]sim.Duration{task}, cfg)
+	if res.Switches != 0 {
+		t.Fatalf("solo task switched %d times", res.Switches)
+	}
+	if res.Overhead != res.TickTime {
+		t.Fatalf("solo overhead %v is not pure tick %v", res.Overhead, res.TickTime)
+	}
+	if res.Makespan != task+res.TickTime {
+		t.Fatalf("solo makespan %v, want %v", res.Makespan, task+res.TickTime)
+	}
+}
+
+func TestRunScheduleDegenerateTimeslices(t *testing.T) {
+	tasks := []sim.Duration{10 * sim.Millisecond, 20 * sim.Millisecond}
+	for _, slice := range []sim.Duration{0, -5 * sim.Millisecond} {
+		cfg := SchedConfig{Preemptive: true, Timeslice: slice, ContextSwitch: sim.Microsecond}
+		res := RunSchedule(tasks, cfg)
+		// A non-positive quantum degrades to run-to-completion slices.
+		if res.Switches != 1 {
+			t.Fatalf("timeslice %v: %d switches", slice, res.Switches)
+		}
+		if want := 30*sim.Millisecond + cfg.ContextSwitch; res.Makespan != want {
+			t.Fatalf("timeslice %v: makespan %v, want %v", slice, res.Makespan, want)
+		}
+	}
+	if res := RunSchedule(nil, TimeSharing(LinuxCosts(), 10*sim.Millisecond, 4*sim.Millisecond)); res.Makespan != 0 || len(res.Completion) != 0 {
+		t.Fatal("empty preemptive schedule")
+	}
+}
+
 func TestBaseKernelPlumbing(t *testing.T) {
 	node := hw.KNL7250SNC4()
 	part, _ := DefaultPartition(node, 4)

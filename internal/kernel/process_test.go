@@ -6,6 +6,7 @@ import (
 	"mklite/internal/hw"
 	"mklite/internal/mem"
 	"mklite/internal/noise"
+	"mklite/internal/sched"
 )
 
 // testKernel builds a minimal concrete kernel for process tests.
@@ -48,8 +49,17 @@ func newTestKernel(t *testing.T, offloadFiles bool) *testKernel {
 		KNoise: noise.McKernelProfile(),
 		KPart:  part,
 		KPhys:  mem.NewPhys(node),
-		KSched: CooperativeLWK(McKernelCosts()),
+		KSched: mustPolicy(t, sched.Coop, McKernelCosts()),
 	}}
+}
+
+func mustPolicy(t *testing.T, kind sched.Kind, costs Costs) sched.Policy {
+	t.Helper()
+	pol, err := NewPolicy(kind, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
 }
 
 func TestFDTableBasics(t *testing.T) {

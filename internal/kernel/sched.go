@@ -1,11 +1,27 @@
 package kernel
 
-import "mklite/internal/sim"
+import (
+	"mklite/internal/sched"
+	"mklite/internal/sim"
+)
 
-// SchedConfig describes a single-core scheduler model. Both the paper's
-// LWKs "employ a round-robin, non-preemptive, co-operative scheduler";
-// Linux time-shares with a periodic tick; McKernel optionally enables time
-// sharing "only on specific CPU cores".
+// NewPolicy builds a scheduling policy of the given kind over this kernel's
+// cost constants, with the standard quantum and tick period filled in by the
+// sched package (per-kind defaults). Kernel boots call this to turn a
+// configured sched.Kind into the policy behind Kernel.Sched().
+func NewPolicy(kind sched.Kind, costs Costs) (sched.Policy, error) {
+	return sched.New(kind, sched.Params{
+		ContextSwitch: costs.ContextSwitch,
+		TickOverhead:  costs.TickOverhead,
+	})
+}
+
+// SchedConfig describes an explicitly-configured single-core scheduler for
+// the batch schedule microbenchmarks (RunSchedule). Both the paper's LWKs
+// "employ a round-robin, non-preemptive, co-operative scheduler"; Linux
+// time-shares with a periodic tick; McKernel optionally enables time sharing
+// "only on specific CPU cores". Kernel models themselves carry a pluggable
+// sched.Policy instead (see NewPolicy and internal/sched).
 type SchedConfig struct {
 	// Preemptive enables timeslice-driven round robin; otherwise tasks
 	// run to completion in arrival order.
@@ -15,7 +31,7 @@ type SchedConfig struct {
 	// ContextSwitch is charged at every task switch.
 	ContextSwitch sim.Duration
 	// TickPeriod/TickOverhead model the scheduler tick: on tick-driven
-	// kernels every running task loses TickOverhead every TickPeriod.
+	// kernels every TickPeriod of busy time costs TickOverhead.
 	TickPeriod   sim.Duration
 	TickOverhead sim.Duration
 }
@@ -48,76 +64,38 @@ type SchedResult struct {
 	Makespan sim.Duration
 	// Switches is the number of context switches taken.
 	Switches int
-	// Overhead is the total non-application time (switches + ticks).
+	// Overhead is the total non-application time. It decomposes exactly:
+	// Overhead == Switches·ContextSwitch + TickTime.
 	Overhead sim.Duration
+	// TickTime is the tick-charge portion of Overhead.
+	TickTime sim.Duration
 }
 
 // RunSchedule simulates running the given tasks (pure compute demands) on
 // one core under the configuration and returns per-task completion times.
 // Deterministic: no randomness is involved.
+//
+// Tick accounting covers all busy wall time: the tick fires during a context
+// switch exactly as it does during a compute slice, so switch time is
+// stretched by the same TickOverhead/TickPeriod rate. (The model once
+// stretched only compute slices, silently exempting switch time from the
+// tick; see the regression test TestRunScheduleTickChargesSwitchTime.)
 func RunSchedule(tasks []sim.Duration, cfg SchedConfig) SchedResult {
-	res := SchedResult{Completion: make([]sim.Duration, len(tasks))}
-	if len(tasks) == 0 {
-		return res
+	kind := sched.Coop
+	if cfg.Preemptive {
+		kind = sched.CFS
 	}
-
-	if !cfg.Preemptive {
-		var now sim.Duration
-		for i, w := range tasks {
-			if i > 0 {
-				now += cfg.ContextSwitch
-				res.Switches++
-				res.Overhead += cfg.ContextSwitch
-			}
-			now += w
-			res.Completion[i] = now
-		}
-		res.Makespan = now
-		return res
+	r := sched.Run(tasks, kind, sched.Params{
+		Quantum:       cfg.Timeslice,
+		ContextSwitch: cfg.ContextSwitch,
+		TickPeriod:    cfg.TickPeriod,
+		TickOverhead:  cfg.TickOverhead,
+	}, 0)
+	return SchedResult{
+		Completion: r.Completion,
+		Makespan:   r.Makespan,
+		Switches:   r.Switches,
+		Overhead:   r.Overhead,
+		TickTime:   r.TickTime,
 	}
-
-	// Preemptive round robin with tick accounting. Tick overhead is
-	// folded in as a rate: every TickPeriod of wall time costs
-	// TickOverhead, stretching compute proportionally.
-	stretch := 1.0
-	if cfg.TickPeriod > 0 && cfg.TickOverhead > 0 {
-		stretch = 1 + float64(cfg.TickOverhead)/float64(cfg.TickPeriod)
-	}
-	remaining := make([]sim.Duration, len(tasks))
-	copy(remaining, tasks)
-	live := len(tasks)
-	var now sim.Duration
-	cur := -1
-	for live > 0 {
-		progressed := false
-		for i := range remaining {
-			if remaining[i] <= 0 {
-				continue
-			}
-			if cur != i && cur != -1 {
-				now += cfg.ContextSwitch
-				res.Switches++
-				res.Overhead += cfg.ContextSwitch
-			}
-			cur = i
-			slice := cfg.Timeslice
-			if slice <= 0 || slice > remaining[i] {
-				slice = remaining[i]
-			}
-			wall := slice.Scale(stretch)
-			res.Overhead += wall - slice
-			now += wall
-			remaining[i] -= slice
-			if remaining[i] <= 0 {
-				res.Completion[i] = now
-				live--
-			}
-			progressed = true
-		}
-		if !progressed {
-			break
-		}
-	}
-	res.Makespan = now
-	return res
 }

@@ -13,7 +13,7 @@ import (
 	"mklite/internal/kernel"
 	"mklite/internal/mem"
 	"mklite/internal/noise"
-	"mklite/internal/sim"
+	"mklite/internal/sched"
 )
 
 // Config tunes the Linux model.
@@ -40,6 +40,11 @@ type Config struct {
 	// storm lands directly on them (the LWKs only feel it through
 	// inflated offload round trips).
 	ExtraNoise []noise.Source
+	// Sched selects the scheduling policy of application cores; empty
+	// means the Linux default (sched.CFS, whose tick cost is part of the
+	// boot noise profile). sched.Tickless additionally drops the
+	// tick-class noise sources from the profile while boot happens.
+	Sched sched.Kind
 }
 
 // DefaultConfig is the paper's production Linux setup.
@@ -81,9 +86,22 @@ func Boot(node *hw.NodeSpec, cfg Config) (*Kernel, error) {
 			}
 		}
 	}
+	kind := cfg.Sched
+	if kind == "" {
+		kind = sched.CFS
+	}
+	pol, err := kernel.NewPolicy(kind, kernel.LinuxCosts())
+	if err != nil {
+		return nil, fmt.Errorf("linuxos: %w", err)
+	}
 	prof := noise.LinuxTuned()
 	if !cfg.Tuned {
 		prof = noise.LinuxUntuned()
+	}
+	if kind == sched.Tickless {
+		// Dyntick: with a single HPC task per core the tick is switched
+		// off outright, so the tick-class interference sources vanish.
+		prof = prof.WithoutTicks()
 	}
 	for _, s := range cfg.ExtraNoise {
 		prof = prof.WithSource(s)
@@ -98,7 +116,7 @@ func Boot(node *hw.NodeSpec, cfg Config) (*Kernel, error) {
 			KNoise: prof,
 			KPart:  part,
 			KPhys:  phys,
-			KSched: kernel.TimeSharing(kernel.LinuxCosts(), 10*sim.Millisecond, 4*sim.Millisecond),
+			KSched: pol,
 		},
 		cfg:    cfg,
 		procfs: NewProcFS(node),

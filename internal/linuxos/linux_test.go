@@ -26,7 +26,7 @@ func TestBootBasics(t *testing.T) {
 	if len(k.Partition().AppCores) != 64 || len(k.Partition().OSCores) != 4 {
 		t.Fatal("partition")
 	}
-	if !k.Sched().Preemptive {
+	if !k.Sched().Preemptive() {
 		t.Fatal("Linux must time-share")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"mklite/internal/linuxos"
 	"mklite/internal/mem"
 	"mklite/internal/noise"
+	"mklite/internal/sched"
 	"mklite/internal/sim"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	// TimeSharingCores optionally enables time sharing, "but ... only
 	// on specific CPU cores".
 	TimeSharingCores []int
+	// Sched selects the scheduling policy of LWK cores; empty means the
+	// McKernel default (sched.Coop, the cooperative run-to-completion
+	// scheduler the paper describes).
+	Sched sched.Kind
 }
 
 // DefaultOptions is the configuration used for the paper's headline runs.
@@ -57,6 +62,14 @@ func Boot(lin *linuxos.Kernel, g *ihk.Grant, opts Options) (*Kernel, error) {
 	if g == nil || g.Phys == nil {
 		return nil, fmt.Errorf("mckernel: boot without an IHK grant")
 	}
+	kind := opts.Sched
+	if kind == "" {
+		kind = sched.Coop
+	}
+	pol, err := kernel.NewPolicy(kind, kernel.McKernelCosts())
+	if err != nil {
+		return nil, fmt.Errorf("mckernel: %w", err)
+	}
 	k := &Kernel{
 		Base: kernel.Base{
 			KName:  "mckernel",
@@ -67,7 +80,7 @@ func Boot(lin *linuxos.Kernel, g *ihk.Grant, opts Options) (*Kernel, error) {
 			KNoise: noise.McKernelProfile(),
 			KPart:  g.Part,
 			KPhys:  g.Phys,
-			KSched: kernel.CooperativeLWK(kernel.McKernelCosts()),
+			KSched: pol,
 		},
 		opts:  opts,
 		grant: g,

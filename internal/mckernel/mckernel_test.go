@@ -22,7 +22,7 @@ func TestDeployIdentity(t *testing.T) {
 	if k.Type() != kernel.TypeMcKernel {
 		t.Fatal("type")
 	}
-	if k.Sched().Preemptive {
+	if k.Sched().Preemptive() {
 		t.Fatal("McKernel default scheduler must be cooperative")
 	}
 	if len(k.Partition().AppCores) != 64 {

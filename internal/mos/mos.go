@@ -17,6 +17,7 @@ import (
 	"mklite/internal/linuxos"
 	"mklite/internal/mem"
 	"mklite/internal/noise"
+	"mklite/internal/sched"
 )
 
 // Config tunes an mOS boot.
@@ -32,6 +33,9 @@ type Config struct {
 	// LinuxReservation is the Linux side's own footprint, reserved
 	// *after* the LWK grab.
 	LinuxReservation int64
+	// Sched selects the scheduling policy of LWK cores; empty means the
+	// mOS default (sched.Coop, cooperative run-to-completion).
+	Sched sched.Kind
 }
 
 // DefaultConfig is the paper's deployment configuration.
@@ -96,6 +100,14 @@ func Boot(node *hw.NodeSpec, cfg Config) (*Kernel, error) {
 			whole.AllocUpTo(d, per, int64(hw.Page4K))
 		}
 	}
+	kind := cfg.Sched
+	if kind == "" {
+		kind = sched.Coop
+	}
+	pol, err := kernel.NewPolicy(kind, kernel.MOSCosts())
+	if err != nil {
+		return nil, fmt.Errorf("mos: %w", err)
+	}
 	k := &Kernel{
 		Base: kernel.Base{
 			KName:  "mos",
@@ -106,7 +118,7 @@ func Boot(node *hw.NodeSpec, cfg Config) (*Kernel, error) {
 			KNoise: noise.MOSProfile(),
 			KPart:  part,
 			KPhys:  mem.NewPhysView(node, grants),
-			KSched: kernel.CooperativeLWK(kernel.MOSCosts()),
+			KSched: pol,
 		},
 		cfg: cfg,
 		// mOS "mostly reuses the Linux implementation" of /proc and

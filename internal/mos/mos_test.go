@@ -22,7 +22,7 @@ func TestBootIdentity(t *testing.T) {
 	if k.Type() != kernel.TypeMOS || k.Name() != "mos" {
 		t.Fatal("identity")
 	}
-	if k.Sched().Preemptive {
+	if k.Sched().Preemptive() {
 		t.Fatal("mOS scheduler must be cooperative")
 	}
 }

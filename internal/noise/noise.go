@@ -14,6 +14,7 @@ package noise
 
 import (
 	"math"
+	"strings"
 
 	"mklite/internal/sim"
 	"mklite/internal/trace"
@@ -206,6 +207,22 @@ func (p *Profile) WithSource(s Source) *Profile {
 	out := &Profile{Name: p.Name, Sources: make([]Source, 0, len(p.Sources)+1)}
 	out.Sources = append(out.Sources, p.Sources...)
 	out.Sources = append(out.Sources, s)
+	return out
+}
+
+// WithoutTicks returns a copy of the profile with the tick-class sources
+// (names containing "tick") removed — the dyntick scheduling policy switches
+// the timer tick off entirely while a single task runs on a core, so neither
+// the residual nohz_full housekeeping tick nor a full periodic tick fires.
+// Profiles without tick sources (the LWKs) come back unchanged in content.
+func (p *Profile) WithoutTicks() *Profile {
+	out := &Profile{Name: p.Name, Sources: make([]Source, 0, len(p.Sources))}
+	for _, s := range p.Sources {
+		if strings.Contains(s.Name, "tick") {
+			continue
+		}
+		out.Sources = append(out.Sources, s)
+	}
 	return out
 }
 

@@ -70,6 +70,11 @@ const (
 	KeyFaultRecoveryNs
 	KeyFaultDegradedNodes
 
+	KeySchedSwitches
+	KeySchedTicks
+	KeySchedQuantumAdjust
+	KeySchedGangSlackNs
+
 	numKeys // sentinel: the dense-slice length
 )
 
@@ -131,6 +136,11 @@ var keyNames = [numKeys]string{
 	KeyFaultRetries:         "fault.retries",
 	KeyFaultRecoveryNs:      "fault.recovery_ns",
 	KeyFaultDegradedNodes:   "fault.degraded_nodes",
+
+	KeySchedSwitches:      "sched.switches",
+	KeySchedTicks:         "sched.ticks",
+	KeySchedQuantumAdjust: "sched.quantum_adjust",
+	KeySchedGangSlackNs:   "sched.gang_slack_ns",
 }
 
 // keyByName is the reverse index, built once at package init. It is

@@ -43,6 +43,8 @@ type KernelInfo struct {
 	// NoiseRate is the expected stolen-time fraction on an application
 	// core.
 	NoiseRate float64
+	// Sched names the scheduling policy of application cores.
+	Sched string
 	// Preemptive reports tick-driven time sharing on application cores.
 	Preemptive bool
 	// OSCores and AppCores report the node partition.
@@ -65,7 +67,8 @@ func Describe(k Kernel) (KernelInfo, error) {
 		OffloadedSyscalls:   kern.Table().Count(kernel.Offloaded),
 		UnsupportedSyscalls: kern.Table().Count(kernel.Unsupported),
 		NoiseRate:           kern.Noise().ExpectedRate(1),
-		Preemptive:          kern.Sched().Preemptive,
+		Sched:               string(kern.Sched().Kind()),
+		Preemptive:          kern.Sched().Preemptive(),
 		OSCores:             len(kern.Partition().OSCores),
 		AppCores:            len(kern.Partition().AppCores),
 	}, nil

@@ -36,6 +36,7 @@ import (
 	"mklite/internal/mckernel"
 	"mklite/internal/metrics"
 	"mklite/internal/mos"
+	"mklite/internal/sched"
 	"mklite/internal/trace"
 )
 
@@ -122,10 +123,14 @@ type Options struct {
 	// (one DDR4 + one MCDRAM domain; numactl -p works, the SNC-4
 	// mesh advantage is lost).
 	Quadrant bool
+	// Sched selects the scheduling policy of the booted kernel's
+	// application cores: one of "cfs", "rr", "coop", "gang", "tickless",
+	// "adaptive" (see docs/SCHED.md). Empty keeps each kernel's default —
+	// cfs on Linux, coop on the LWKs — under which every output is
+	// byte-identical to a build without the scheduler seam.
+	Sched string
 
-	// Observe groups the run's observability attachments. The flat
-	// fields below are deprecated aliases kept for source compatibility;
-	// the effective configuration is the union of both forms.
+	// Observe groups the run's observability attachments.
 	Observe Observe
 
 	// Faults, when non-nil and non-empty, schedules deterministic fault
@@ -135,38 +140,14 @@ type Options struct {
 	// from their own seed-derived stream: a nil or empty plan leaves
 	// every output byte-identical to a faultless build.
 	Faults *fault.Plan
-
-	// Trace is a deprecated alias for Observe.Trace.
-	Trace bool
-	// Counters is a deprecated alias for Observe.Counters.
-	Counters bool
-	// Events is a deprecated alias for Observe.Events.
-	Events bool
-	// EventCap is a deprecated alias for Observe.EventCap (used only
-	// when Observe.EventCap is zero).
-	EventCap int
-	// Metrics is a deprecated alias for Observe.Metrics.
-	Metrics bool
-	// Flame is a deprecated alias for Observe.Flame.
-	Flame bool
 }
 
-// observe returns the effective observability configuration: the Observe
-// block with the deprecated flat aliases OR-ed in.
+// observe returns the effective observability configuration.
 func (o *Options) observe() Observe {
 	if o == nil {
 		return Observe{}
 	}
-	obs := o.Observe
-	obs.Trace = obs.Trace || o.Trace
-	obs.Counters = obs.Counters || o.Counters
-	obs.Events = obs.Events || o.Events
-	obs.Metrics = obs.Metrics || o.Metrics
-	obs.Flame = obs.Flame || o.Flame
-	if obs.EventCap == 0 {
-		obs.EventCap = o.EventCap
-	}
-	return obs
+	return o.Observe
 }
 
 // validate rejects malformed options with a proper error (a negative
@@ -178,8 +159,10 @@ func (o *Options) validate() error {
 	if o.Observe.EventCap < 0 {
 		return fmt.Errorf("mklite: negative Observe.EventCap %d", o.Observe.EventCap)
 	}
-	if o.EventCap < 0 {
-		return fmt.Errorf("mklite: negative EventCap %d", o.EventCap)
+	if o.Sched != "" {
+		if _, err := sched.Parse(o.Sched); err != nil {
+			return fmt.Errorf("mklite: %w", err)
+		}
 	}
 	return o.Faults.Validate()
 }
@@ -190,6 +173,7 @@ type StepTrace struct {
 	Memory  float64
 	Heap    float64
 	Syscall float64
+	Sched   float64
 	Comm    float64
 	Noise   float64
 }
@@ -237,8 +221,8 @@ type Result struct {
 	Unit string
 
 	// Breakdown attributes the elapsed time to mechanisms, in seconds:
-	// keys are "compute", "memory", "heap", "syscall", "comm", "noise",
-	// "shm-setup".
+	// keys are "compute", "memory", "heap", "syscall", "sched", "comm",
+	// "noise", "shm-setup".
 	Breakdown map[string]float64
 
 	// Heap accounting of rank 0 (queries/grows/shrinks/peak bytes/
@@ -302,6 +286,13 @@ func toJob(appName string, k Kernel, nodes int, seed uint64, opts *Options) (clu
 	job.Quadrant = opts.Quadrant
 	job.Trace = opts.observe().Trace
 	job.Faults = opts.Faults
+	if opts.Sched != "" {
+		kind, err := sched.Parse(opts.Sched)
+		if err != nil {
+			return cluster.Job{}, fmt.Errorf("mklite: %w", err)
+		}
+		job.Sched = kind
+	}
 	if opts.UserSpaceFabric {
 		job.Fabric = fabric.UserSpaceFabric()
 	}
@@ -375,6 +366,7 @@ func RunContext(ctx context.Context, appName string, k Kernel, nodes int, seed u
 			"memory":    res.Breakdown.Memory.Seconds(),
 			"heap":      res.Breakdown.Heap.Seconds(),
 			"syscall":   res.Breakdown.Syscall.Seconds(),
+			"sched":     res.Breakdown.Sched.Seconds(),
 			"comm":      res.Breakdown.Comm.Seconds(),
 			"noise":     res.Breakdown.Noise.Seconds(),
 			"shm-setup": res.Breakdown.SetupShm.Seconds(),
@@ -426,6 +418,7 @@ func stepTrace(steps []cluster.StepRecord) []StepTrace {
 			Memory:  s.Memory.Seconds(),
 			Heap:    s.Heap.Seconds(),
 			Syscall: s.Syscall.Seconds(),
+			Sched:   s.Sched.Seconds(),
 			Comm:    s.Comm.Seconds(),
 			Noise:   s.Noise.Seconds(),
 		}

@@ -339,7 +339,7 @@ func TestMeasureUtilization(t *testing.T) {
 }
 
 func TestTraceOption(t *testing.T) {
-	r, err := Run("lulesh2.0", Linux, 8, 1, &Options{Trace: true})
+	r, err := Run("lulesh2.0", Linux, 8, 1, &Options{Observe: Observe{Trace: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
